@@ -1,0 +1,94 @@
+// Command ocelot-bench regenerates every table and figure of the paper's
+// evaluation section from the Go reproduction.
+//
+// Usage:
+//
+//	ocelot-bench [-shrink N] [-seed S] [-only "Table VIII,Fig 9"]
+//
+// Output is the text rendering of each artifact; see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for an archived run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ocelot/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ocelot-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ocelot-bench", flag.ContinueOnError)
+	shrink := fs.Int("shrink", 16, "divide every dataset dimension by this factor")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	only := fs.String("only", "", "comma-separated artifact IDs to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiments.Scale{Shrink: *shrink, Seed: *seed}
+
+	type driver struct {
+		id string
+		fn func(experiments.Scale) (*experiments.Result, error)
+	}
+	drivers := []driver{
+		{"Table I", experiments.TableI},
+		{"Table II", experiments.TableII},
+		{"Fig 4", experiments.Fig4},
+		{"Fig 5", experiments.Fig5},
+		{"Fig 6", experiments.Fig6},
+		{"Fig 7", experiments.Fig7},
+		{"Fig 8", experiments.Fig8},
+		{"Fig 9", experiments.Fig9},
+		{"Table V", experiments.TableV},
+		{"Table VI", experiments.TableVI},
+		{"Table VII", experiments.TableVII},
+		{"Fig 12", experiments.Fig12},
+		{"Fig 13", experiments.Fig13},
+		{"Fig 14", experiments.Fig14},
+		{"Fig 15", experiments.Fig15},
+		{"Table VIII", experiments.TableVIII},
+		{"Fig 16", experiments.Fig16},
+	}
+
+	var wanted map[string]bool
+	if *only != "" {
+		wanted = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	fmt.Printf("ocelot-bench: reproducing the ICDCS'23 Ocelot evaluation (shrink=%d seed=%d)\n\n",
+		*shrink, *seed)
+	start := time.Now()
+	ran := 0
+	for _, d := range drivers {
+		if wanted != nil && !wanted[strings.ToLower(d.id)] {
+			continue
+		}
+		t0 := time.Now()
+		res, err := d.fn(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.id, err)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(res.Text)
+		fmt.Printf("[%s regenerated in %.2fs]\n\n", d.id, time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no artifacts matched -only=%q", *only)
+	}
+	fmt.Printf("done: %d artifacts in %.1fs\n", ran, time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,273 @@
+// Command ocelot is the CLI front-end to the Ocelot pipeline:
+//
+//	ocelot generate  -app CESM -field TMQ -shrink 8 -out tmq.dat
+//	ocelot compress  -in tmq.dat -out tmq.sz -eb 1e-3 [-predictor interp]
+//	ocelot decompress -in tmq.sz -out tmq.recon.dat
+//	ocelot predict   -in tmq.dat -eb 1e-3          (train-on-the-fly estimate)
+//	ocelot simulate  -app CESM -files 7182 -bytes 224000000 -ratio 7.2 \
+//	                 -route Anvil-\>Bebop
+//
+// All data files use the raw-binary + JSON-sidecar layout of
+// internal/dataio.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocelot/internal/cluster"
+	"ocelot/internal/core"
+	"ocelot/internal/datagen"
+	"ocelot/internal/dataio"
+	"ocelot/internal/dtree"
+	"ocelot/internal/metrics"
+	"ocelot/internal/quality"
+	"ocelot/internal/sz"
+	"ocelot/internal/wan"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ocelot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: ocelot <generate|compress|decompress|predict|simulate> [flags]")
+	}
+	switch args[0] {
+	case "generate":
+		return cmdGenerate(args[1:])
+	case "compress":
+		return cmdCompress(args[1:])
+	case "decompress":
+		return cmdDecompress(args[1:])
+	case "predict":
+		return cmdPredict(args[1:])
+	case "simulate":
+		return cmdSimulate(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
+	app := fs.String("app", "CESM", "application (CESM, Miranda, RTM, Nyx, ISABEL, QMCPACK, HACC)")
+	field := fs.String("field", "TMQ", "field name (RTM: snap-NNNN)")
+	shrink := fs.Int("shrink", 8, "divide paper dimensions by this factor")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return errors.New("generate: -out is required")
+	}
+	f, err := datagen.Generate(*app, *field, *shrink, *seed)
+	if err != nil {
+		return err
+	}
+	if err := dataio.Save(f, *out); err != nil {
+		return err
+	}
+	st := metrics.ComputeRange(f.Data)
+	fmt.Printf("wrote %s: %s dims=%v points=%d range=[%.4g, %.4g]\n",
+		*out, f.ID(), f.Dims, f.NumPoints(), st.Min, st.Max)
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ContinueOnError)
+	in := fs.String("in", "", "input data file (required)")
+	out := fs.String("out", "", "output stream path (required)")
+	eb := fs.Float64("eb", 1e-3, "error bound")
+	rel := fs.Bool("rel", true, "interpret -eb relative to the value range")
+	predictor := fs.String("predictor", "interp", "lorenzo | interp | regression")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("compress: -in and -out are required")
+	}
+	f, err := dataio.Load(*in)
+	if err != nil {
+		return err
+	}
+	pred, err := sz.ParsePredictor(*predictor)
+	if err != nil {
+		return err
+	}
+	cfg := sz.DefaultConfig(*eb)
+	cfg.Predictor = pred
+	if *rel {
+		cfg.BoundMode = sz.BoundRelative
+	}
+	start := time.Now()
+	stream, stats, err := sz.Compress(f.Data, f.Dims, cfg)
+	if err != nil {
+		return err
+	}
+	if err := dataio.SaveStream(stream, *out); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %s -> %s: %d -> %d bytes (ratio %.2f) in %.3fs, p0=%.3f escapes=%d\n",
+		*in, *out, f.RawBytes(), len(stream),
+		float64(f.RawBytes())/float64(len(stream)),
+		time.Since(start).Seconds(), stats.P0Quant, stats.NumEscapes)
+	return nil
+}
+
+func cmdDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ContinueOnError)
+	in := fs.String("in", "", "input stream (required)")
+	out := fs.String("out", "", "output data path (required)")
+	verify := fs.String("verify", "", "optional original file to verify against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return errors.New("decompress: -in and -out are required")
+	}
+	stream, err := dataio.LoadStream(*in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	data, dims, err := sz.Decompress(stream)
+	if err != nil {
+		return err
+	}
+	f := &datagen.Field{App: "recon", Name: *in, Dims: dims, Data: data, ElementSize: 4}
+	if err := dataio.Save(f, *out); err != nil {
+		return err
+	}
+	fmt.Printf("decompressed %s -> %s: %d points in %.3fs\n",
+		*in, *out, len(data), time.Since(start).Seconds())
+	if *verify != "" {
+		orig, err := dataio.Load(*verify)
+		if err != nil {
+			return err
+		}
+		maxErr, err := metrics.MaxAbsError(orig.Data, data)
+		if err != nil {
+			return err
+		}
+		psnr, err := metrics.PSNR(orig.Data, data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("verification: max|err|=%.6g PSNR=%.2f dB\n", maxErr, psnr)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	in := fs.String("in", "", "input data file (required)")
+	eb := fs.Float64("eb", 1e-3, "relative error bound to estimate")
+	shrink := fs.Int("train-shrink", 32, "training corpus shrink factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return errors.New("predict: -in is required")
+	}
+	f, err := dataio.Load(*in)
+	if err != nil {
+		return err
+	}
+	// Train a model on a small cross-application corpus on the fly.
+	var corpus []*datagen.Field
+	for _, spec := range []struct {
+		app    string
+		fields []string
+	}{
+		{"CESM", []string{"TMQ", "CLDHGH", "FLDSC", "LHFLX", "PSL"}},
+		{"Miranda", []string{"density", "velocityx", "pressure"}},
+		{"ISABEL", []string{"Pf48", "Wf48", "QVAPORf48"}},
+	} {
+		for _, name := range spec.fields {
+			cf, err := datagen.Generate(spec.app, name, *shrink, 7)
+			if err != nil {
+				return err
+			}
+			corpus = append(corpus, cf)
+		}
+	}
+	samples, err := quality.Collect(corpus, quality.CollectOptions{WithPSNR: true})
+	if err != nil {
+		return err
+	}
+	model, err := quality.Train(samples, dtree.Params{MaxDepth: 14})
+	if err != nil {
+		return err
+	}
+	est, err := model.EstimateField(f.Data, f.Dims, *eb, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prediction for %s at rel-eb %.0e:\n", *in, *eb)
+	fmt.Printf("  compression ratio: %.2f\n", est.Ratio)
+	fmt.Printf("  compression time:  %.3fs (this machine)\n", est.Seconds)
+	fmt.Printf("  PSNR:              %.1f dB\n", est.PSNR)
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	app := fs.String("app", "CESM", "dataset label")
+	files := fs.Int("files", 7182, "file count")
+	bytesPer := fs.Int64("bytes", 224e6, "bytes per file")
+	ratio := fs.Float64("ratio", 7.2, "expected compression ratio")
+	route := fs.String("route", "Anvil->Bebop", "one of the standard links")
+	nodes := fs.Int("nodes", 16, "source compression nodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	links := wan.StandardLinks()
+	link, ok := links[*route]
+	if !ok {
+		return fmt.Errorf("simulate: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
+	}
+	machines := cluster.Standard()
+	src, dst := routeMachines(*route, machines)
+	p := &core.Pipeline{Source: src, Dest: dst, Link: link}
+	fileSet := core.UniformFileSet(*app, *files, *bytesPer, *ratio)
+	direct, cp, op, err := p.CompareModes(fileSet, core.Plan{SourceNodes: *nodes, Seed: 1, GroupParam: 64})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %s, %d files × %d MB over %s\n", *app, *files, *bytesPer/1e6, *route)
+	fmt.Printf("  NP (direct):      %8.1fs  (%.0f MB/s)\n", direct.TotalSec, direct.EffectiveMBps)
+	fmt.Printf("  CP (compressed):  %8.1fs  [cp %.1fs + xfer %.1fs + dp %.1fs]\n",
+		cp.TotalSec, cp.CompressSec, cp.TransferSec, cp.DecompressSec)
+	fmt.Printf("  OP (grouped):     %8.1fs  [cp %.1fs + xfer %.1fs + dp %.1fs]\n",
+		op.TotalSec, op.CompressSec, op.TransferSec, op.DecompressSec)
+	best := op
+	if cp.TotalSec < op.TotalSec {
+		best = cp
+	}
+	fmt.Printf("  gain: %.0f%% (paper range 41–91%%)\n", 100*core.Gain(direct, best))
+	return nil
+}
+
+func routeMachines(route string, machines map[string]*cluster.Machine) (src, dst *cluster.Machine) {
+	switch route {
+	case "Anvil->Cori":
+		return machines["Anvil"], machines["Cori"]
+	case "Anvil->Bebop":
+		return machines["Anvil"], machines["Bebop"]
+	case "Bebop->Cori":
+		return machines["Bebop"], machines["Cori"]
+	case "Cori->Bebop":
+		return machines["Cori"], machines["Bebop"]
+	default:
+		return machines["Anvil"], machines["Cori"]
+	}
+}

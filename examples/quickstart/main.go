@@ -1,0 +1,50 @@
+// Quickstart: compress a scientific field with an error bound, decompress
+// it, and verify the guarantee — the minimal Ocelot workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ocelot"
+)
+
+func main() {
+	// 1. Get some scientific data (synthetic CESM total-precipitable-water).
+	field, err := ocelot.GenerateField("CESM", "TMQ", 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("field %s: dims=%v (%d points, %.1f MB raw)\n",
+		field.ID(), field.Dims, field.NumPoints(), float64(field.RawBytes())/1e6)
+
+	// 2. Compress with an absolute error bound of 0.01 kg/m².
+	cfg := ocelot.DefaultConfig(0.01)
+	stream, stats, err := ocelot.Compress(field.Data, field.Dims, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed: %d -> %d bytes (ratio %.1f), p0=%.3f\n",
+		field.RawBytes(), len(stream),
+		ocelot.CompressionRatio(field.RawBytes(), len(stream)), stats.P0Quant)
+
+	// 3. Decompress and verify the error bound held.
+	recon, dims, err := ocelot.Decompress(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr, err := ocelot.MaxAbsError(field.Data, recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	psnr, err := ocelot.PSNR(field.Data, recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed dims=%v max|err|=%.6f (bound 0.01) PSNR=%.1f dB\n",
+		dims, maxErr, psnr)
+	if maxErr > 0.01 {
+		log.Fatal("error bound violated!")
+	}
+	fmt.Println("error bound verified ✓")
+}

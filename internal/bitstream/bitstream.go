@@ -1,0 +1,159 @@
+// Package bitstream provides bit-granular writers and readers used by the
+// entropy-coding stages of the compressors. Bits are packed MSB-first into
+// bytes so that encoded streams are byte-order independent and the output of
+// the canonical Huffman coder is deterministic across platforms.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnexpectedEOF is returned when a read requests more bits than remain.
+var ErrUnexpectedEOF = errors.New("bitstream: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into an internal byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bits not yet flushed, left-aligned within nbits
+	nbit uint   // number of valid bits in cur (0..63)
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBits appends the low `width` bits of v to the stream, MSB first.
+// width must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	// Split so cur never exceeds 64 bits.
+	for width > 0 {
+		free := 64 - w.nbit
+		take := width
+		if take > free {
+			take = free
+		}
+		chunk := v >> (width - take)
+		w.cur = (w.cur << take) | (chunk & ((1 << take) - 1))
+		w.nbit += take
+		width -= take
+		if w.nbit == 64 {
+			w.flushWord()
+		}
+	}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *Writer) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+func (w *Writer) flushWord() {
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, byte(w.cur>>(56-8*uint(i))))
+	}
+	w.cur = 0
+	w.nbit = 0
+}
+
+// BitLen reports the total number of bits written so far.
+func (w *Writer) BitLen() int {
+	return len(w.buf)*8 + int(w.nbit)
+}
+
+// Bytes finalizes the stream, padding the final partial byte with zero bits,
+// and returns the underlying buffer. The Writer may continue to be used; the
+// padding bits become part of the stream.
+func (w *Writer) Bytes() []byte {
+	if w.nbit > 0 {
+		pad := (8 - w.nbit%8) % 8
+		if pad > 0 {
+			w.cur <<= pad
+			w.nbit += pad
+		}
+		for w.nbit > 0 {
+			w.buf = append(w.buf, byte(w.cur>>(w.nbit-8)))
+			w.nbit -= 8
+		}
+		w.cur = 0
+	}
+	return w.buf
+}
+
+// Reset clears the writer for reuse, retaining the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur = 0
+	w.nbit = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within buf[pos] (0 = MSB)
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBits reads `width` bits (MSB-first) and returns them right-aligned.
+// width must be in [0, 64].
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 64 {
+		return 0, fmt.Errorf("bitstream: width %d out of range", width)
+	}
+	var v uint64
+	for width > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrUnexpectedEOF
+		}
+		avail := 8 - r.bit
+		take := width
+		if take > avail {
+			take = avail
+		}
+		cur := uint64(r.buf[r.pos])
+		chunk := (cur >> (avail - take)) & ((1 << take) - 1)
+		v = (v << take) | chunk
+		r.bit += take
+		width -= take
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// Remaining reports the number of unread bits.
+func (r *Reader) Remaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}
+
+// Align advances the reader to the next byte boundary.
+func (r *Reader) Align() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}

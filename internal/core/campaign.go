@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/executor"
+	"ocelot/internal/faas"
+	"ocelot/internal/grouping"
+	"ocelot/internal/metrics"
+	"ocelot/internal/sz"
+)
+
+// CampaignOptions configures a real (in-process) compress-group-decompress
+// campaign over actual data.
+type CampaignOptions struct {
+	// RelErrorBound is applied relative to each field's value range.
+	RelErrorBound float64
+	// Predictor for the SZ pipeline; 0 = interp.
+	Predictor sz.Predictor
+	// Workers bounds compression/decompression parallelism; ≤ 0 = 4.
+	Workers int
+	// GroupStrategy and GroupParam control packing; 0 = ByWorldSize with
+	// world = Workers.
+	GroupStrategy grouping.Strategy
+	GroupParam    int64
+	// Now injects a clock for tests; nil = time.Now.
+	Now func() time.Time
+}
+
+// CampaignResult reports a real campaign run.
+type CampaignResult struct {
+	Files           int
+	RawBytes        int64
+	CompressedBytes int64
+	Groups          int
+	GroupedBytes    int64
+	Ratio           float64
+	CompressSec     float64
+	DecompressSec   float64
+	MaxRelError     float64 // max observed |err| / field range, ≤ RelErrorBound on success
+	Metadata        string
+}
+
+// RunCampaign compresses all fields in parallel with the real SZ pipeline,
+// packs the streams into groups, unpacks and decompresses them, and
+// verifies every value honours the error bound. It is the actual data path
+// that the simulation models at scale.
+func RunCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOptions) (*CampaignResult, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("core: no fields")
+	}
+	if opts.RelErrorBound <= 0 {
+		return nil, errors.New("core: relative error bound must be positive")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	res := &CampaignResult{Files: len(fields)}
+	absEBs := make([]float64, len(fields))
+	ranges := make([]float64, len(fields))
+	for i, f := range fields {
+		res.RawBytes += int64(f.RawBytes())
+		r := metrics.ComputeRange(f.Data).Range
+		if r <= 0 {
+			r = 1
+		}
+		ranges[i] = r
+		absEBs[i] = opts.RelErrorBound * r
+	}
+
+	// Parallel compression (Section VII-A).
+	start := now()
+	streams, err := executor.Map(ctx, workers, len(fields), func(ctx context.Context, i int) ([]byte, error) {
+		cfg := sz.DefaultConfig(absEBs[i])
+		if opts.Predictor != 0 {
+			cfg.Predictor = opts.Predictor
+		}
+		stream, _, err := sz.Compress(fields[i].Data, fields[i].Dims, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
+		}
+		return stream, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CompressSec = now().Sub(start).Seconds()
+
+	sizes := make([]int64, len(streams))
+	names := make([]string, len(streams))
+	for i, s := range streams {
+		sizes[i] = int64(len(s))
+		names[i] = fields[i].ID() + ".sz"
+		res.CompressedBytes += int64(len(s))
+	}
+	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
+
+	// Grouping (Section VII-C).
+	strategy := opts.GroupStrategy
+	if strategy == 0 {
+		strategy = grouping.ByWorldSize
+	}
+	param := opts.GroupParam
+	if param <= 0 {
+		param = int64(workers)
+	}
+	plan, err := grouping.Plan(sizes, strategy, param)
+	if err != nil {
+		return nil, err
+	}
+	archives := make([][]byte, len(plan))
+	for g, idxs := range plan {
+		members := make([]grouping.Member, 0, len(idxs))
+		for _, i := range idxs {
+			members = append(members, grouping.Member{Name: names[i], Data: streams[i]})
+		}
+		arch, err := grouping.Pack(members)
+		if err != nil {
+			return nil, err
+		}
+		archives[g] = arch
+		res.GroupedBytes += int64(len(arch))
+	}
+	res.Groups = len(archives)
+	res.Metadata = grouping.Metadata(names, plan, strategy)
+
+	// Receiver side: unpack, decompress in parallel, verify bounds.
+	type unpacked struct {
+		name   string
+		stream []byte
+	}
+	var all []unpacked
+	for _, arch := range archives {
+		members, err := grouping.Unpack(arch)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			all = append(all, unpacked{m.Name, m.Data})
+		}
+	}
+	if len(all) != len(fields) {
+		return nil, fmt.Errorf("core: %d members after grouping, want %d", len(all), len(fields))
+	}
+	byName := make(map[string]int, len(fields))
+	for i, n := range names {
+		byName[n] = i
+	}
+	start = now()
+	maxRel, err := executor.Map(ctx, workers, len(all), func(ctx context.Context, k int) (float64, error) {
+		i, ok := byName[all[k].name]
+		if !ok {
+			return 0, fmt.Errorf("core: unknown member %q", all[k].name)
+		}
+		recon, dims, err := sz.Decompress(all[k].stream)
+		if err != nil {
+			return 0, fmt.Errorf("decompress %s: %w", all[k].name, err)
+		}
+		if len(dims) != len(fields[i].Dims) {
+			return 0, fmt.Errorf("core: %s: dims mismatch", all[k].name)
+		}
+		maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
+		if err != nil {
+			return 0, err
+		}
+		if maxErr > absEBs[i]*(1+1e-9) {
+			return 0, fmt.Errorf("core: %s: error %g exceeds bound %g", all[k].name, maxErr, absEBs[i])
+		}
+		return maxErr / ranges[i], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.DecompressSec = now().Sub(start).Seconds()
+	for _, r := range maxRel {
+		res.MaxRelError = math.Max(res.MaxRelError, r)
+	}
+	return res, nil
+}
+
+// Orchestrator runs campaigns through the funcX-style fabric: compression
+// executes on the source endpoint, decompression on the destination
+// endpoint, exactly like Ocelot's remote orchestration (Section V.3).
+type Orchestrator struct {
+	svc      *faas.Service
+	sourceEP string
+	destEP   string
+}
+
+// Function names registered on the fabric.
+const (
+	fnCompress   = "ocelot.compress"
+	fnDecompress = "ocelot.decompress"
+)
+
+type compressArgs struct {
+	data []float64
+	dims []int
+	cfg  sz.Config
+}
+
+type decompressArgs struct {
+	stream []byte
+}
+
+// NewOrchestrator registers Ocelot's functions on the fabric and binds the
+// source/destination endpoints (which must already be deployed).
+func NewOrchestrator(svc *faas.Service, sourceEP, destEP string) (*Orchestrator, error) {
+	if svc == nil {
+		return nil, errors.New("core: nil faas service")
+	}
+	if err := svc.RegisterFunction(fnCompress, func(ctx context.Context, payload interface{}) (interface{}, error) {
+		args, ok := payload.(compressArgs)
+		if !ok {
+			return nil, errors.New("ocelot.compress: bad payload")
+		}
+		stream, _, err := sz.Compress(args.data, args.dims, args.cfg)
+		return stream, err
+	}); err != nil {
+		return nil, err
+	}
+	if err := svc.RegisterFunction(fnDecompress, func(ctx context.Context, payload interface{}) (interface{}, error) {
+		args, ok := payload.(decompressArgs)
+		if !ok {
+			return nil, errors.New("ocelot.decompress: bad payload")
+		}
+		recon, _, err := sz.Decompress(args.stream)
+		return recon, err
+	}); err != nil {
+		return nil, err
+	}
+	return &Orchestrator{svc: svc, sourceEP: sourceEP, destEP: destEP}, nil
+}
+
+// CompressRemote submits a compression task to the source endpoint and
+// waits for the stream.
+func (o *Orchestrator) CompressRemote(ctx context.Context, data []float64, dims []int, cfg sz.Config) ([]byte, error) {
+	id, err := o.svc.Submit(o.sourceEP, fnCompress, compressArgs{data: data, dims: dims, cfg: cfg})
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.svc.Wait(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	stream, ok := res.([]byte)
+	if !ok {
+		return nil, errors.New("core: compress returned wrong type")
+	}
+	return stream, nil
+}
+
+// DecompressRemote submits a decompression task to the destination endpoint.
+func (o *Orchestrator) DecompressRemote(ctx context.Context, stream []byte) ([]float64, error) {
+	id, err := o.svc.Submit(o.destEP, fnDecompress, decompressArgs{stream: stream})
+	if err != nil {
+		return nil, err
+	}
+	res, err := o.svc.Wait(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	recon, ok := res.([]float64)
+	if !ok {
+		return nil, errors.New("core: decompress returned wrong type")
+	}
+	return recon, nil
+}

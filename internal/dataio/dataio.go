@@ -1,0 +1,130 @@
+// Package dataio loads and stores dataset fields on disk. The on-disk
+// format mirrors what scientific facilities actually move: a raw
+// little-endian float32/float64 binary file (like the paper's .dat/.bin
+// field dumps) plus a JSON sidecar describing shape and provenance, serving
+// the role of NetCDF/HDF5 headers without a C dependency.
+package dataio
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ocelot/internal/datagen"
+)
+
+// Meta is the JSON sidecar stored next to each raw binary.
+type Meta struct {
+	App         string `json:"app"`
+	Name        string `json:"name"`
+	Dims        []int  `json:"dims"`
+	ElementSize int    `json:"elementSize"` // 4 or 8
+}
+
+// metaPath returns the sidecar path for a data file.
+func metaPath(path string) string { return path + ".meta.json" }
+
+// ErrBadMeta indicates a missing or inconsistent sidecar.
+var ErrBadMeta = errors.New("dataio: bad metadata")
+
+// Save writes a field as raw little-endian values plus its sidecar.
+func Save(f *datagen.Field, path string) error {
+	if f == nil || len(f.Data) == 0 {
+		return errors.New("dataio: empty field")
+	}
+	elem := f.ElementSize
+	if elem != 4 && elem != 8 {
+		elem = 4
+	}
+	buf := make([]byte, len(f.Data)*elem)
+	for i, v := range f.Data {
+		if elem == 4 {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		} else {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dataio: mkdir: %w", err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("dataio: write data: %w", err)
+	}
+	meta := Meta{App: f.App, Name: f.Name, Dims: f.Dims, ElementSize: elem}
+	blob, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(metaPath(path), blob, 0o644); err != nil {
+		return fmt.Errorf("dataio: write meta: %w", err)
+	}
+	return nil
+}
+
+// Load reads a field saved with Save.
+func Load(path string) (*datagen.Field, error) {
+	blob, err := os.ReadFile(metaPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("dataio: read meta: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(blob, &meta); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	if meta.ElementSize != 4 && meta.ElementSize != 8 {
+		return nil, fmt.Errorf("%w: element size %d", ErrBadMeta, meta.ElementSize)
+	}
+	n := 1
+	for _, d := range meta.Dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dim %d", ErrBadMeta, d)
+		}
+		n *= d
+	}
+	data, err := LoadRaw(path, n, meta.ElementSize)
+	if err != nil {
+		return nil, err
+	}
+	return &datagen.Field{
+		App: meta.App, Name: meta.Name, Dims: meta.Dims,
+		Data: data, ElementSize: meta.ElementSize,
+	}, nil
+}
+
+// LoadRaw reads n raw little-endian values of the given element size
+// (4 = float32, 8 = float64) without a sidecar.
+func LoadRaw(path string, n, elementSize int) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: read data: %w", err)
+	}
+	if len(raw) != n*elementSize {
+		return nil, fmt.Errorf("dataio: %s: %d bytes, want %d", path, len(raw), n*elementSize)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		if elementSize == 4 {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		} else {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return data, nil
+}
+
+// SaveStream writes an opaque compressed stream.
+func SaveStream(stream []byte, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dataio: mkdir: %w", err)
+	}
+	return os.WriteFile(path, stream, 0o644)
+}
+
+// LoadStream reads an opaque compressed stream.
+func LoadStream(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,119 @@
+package dataio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ocelot/internal/datagen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f, err := datagen.Generate("CESM", "TMQ", 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "tmq.dat")
+	if err := Save(f, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != f.App || back.Name != f.Name {
+		t.Fatalf("identity lost: %s/%s", back.App, back.Name)
+	}
+	if len(back.Dims) != len(f.Dims) {
+		t.Fatal("dims lost")
+	}
+	for i := range f.Data {
+		// float32 storage: values already float32-rounded by datagen.
+		if back.Data[i] != f.Data[i] {
+			t.Fatalf("value %d drift: %v vs %v", i, back.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestSaveLoadFloat64(t *testing.T) {
+	dir := t.TempDir()
+	f := &datagen.Field{
+		App: "X", Name: "pi", Dims: []int{3},
+		Data: []float64{math.Pi, math.E, math.Sqrt2}, ElementSize: 8,
+	}
+	path := filepath.Join(dir, "pi.dat")
+	if err := Save(f, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if back.Data[i] != f.Data[i] {
+			t.Fatalf("float64 drift at %d", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.dat")); err == nil {
+		t.Error("missing file must error")
+	}
+	// Bad meta JSON.
+	path := filepath.Join(dir, "bad.dat")
+	if err := os.WriteFile(path, []byte{1, 2, 3, 4}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".meta.json", []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("bad meta must error")
+	}
+	// Size mismatch.
+	if err := os.WriteFile(path+".meta.json", []byte(`{"app":"a","name":"b","dims":[100],"elementSize":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("size mismatch must error")
+	}
+}
+
+func TestSaveEmpty(t *testing.T) {
+	if err := Save(&datagen.Field{}, "/tmp/x"); err == nil {
+		t.Error("empty field must error")
+	}
+}
+
+func TestStreams(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "x.sz")
+	if err := SaveStream([]byte{9, 8, 7}, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != 9 {
+		t.Fatalf("stream = %v", back)
+	}
+}
+
+func TestLoadRawValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "raw.bin")
+	if err := os.WriteFile(path, make([]byte, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRaw(path, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRaw(path, 5, 4); err == nil {
+		t.Error("wrong count must error")
+	}
+}

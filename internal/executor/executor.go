@@ -1,0 +1,203 @@
+// Package executor provides the parallel (de)compression engine of the
+// paper's Section VII-A. It has two faces:
+//
+//   - Pool: a real bounded worker pool that runs actual compression jobs on
+//     goroutines — the "MPI program that loads different files and
+//     compresses them in parallel", with ranks mapped to goroutines.
+//   - Plan/estimate helpers that the simulation layer uses to model
+//     many-node runs that would not fit in a test process.
+package executor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Job is one unit of work identified by its index in the submission order.
+type Job func(ctx context.Context, rank int) error
+
+// Pool runs jobs across a fixed set of worker goroutines ("ranks").
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool with the given parallelism (≥ 1).
+func NewPool(workers int) (*Pool, error) {
+	if workers < 1 {
+		return nil, errors.New("executor: need at least one worker")
+	}
+	return &Pool{workers: workers}, nil
+}
+
+// Workers reports the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes all jobs, at most `workers` concurrently, and returns the
+// first error encountered (remaining jobs are cancelled via ctx). All
+// goroutines are joined before returning.
+func (p *Pool) Run(ctx context.Context, jobs []Job) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1)
+
+	for rank := 0; rank < p.workers; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case idx, ok := <-next:
+					if !ok {
+						return
+					}
+					if err := jobs[idx](ctx, rank); err != nil {
+						select {
+						case errCh <- fmt.Errorf("executor: job %d: %w", idx, err):
+							cancel()
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Feed jobs; stop feeding on cancellation.
+feed:
+	for i := range jobs {
+		select {
+		case <-ctx.Done():
+			break feed
+		case next <- i:
+		}
+	}
+	close(next)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// Map runs fn over n items with bounded parallelism and collects results.
+// Results are indexed by item; on error the first failure is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	p, err := NewPool(workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, n)
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = func(ctx context.Context, rank int) error {
+			v, err := fn(ctx, i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			return nil
+		}
+	}
+	if err := p.Run(ctx, jobs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Makespan computes the simulated completion time of running tasks with the
+// given per-task costs (seconds) on `workers` parallel workers using greedy
+// longest-first scheduling. It mirrors what Pool achieves in practice and
+// is used by the cluster model for node counts a test process cannot spawn.
+func Makespan(costs []float64, workers int) float64 {
+	if len(costs) == 0 || workers <= 0 {
+		return 0
+	}
+	if workers > len(costs) {
+		workers = len(costs)
+	}
+	// Insertion sort descending for small n, heap otherwise.
+	sorted := make([]float64, len(costs))
+	copy(sorted, costs)
+	sortDesc(sorted)
+	load := make([]float64, workers)
+	for _, c := range sorted {
+		load[0] += c
+		siftDown(load)
+	}
+	var mk float64
+	for _, v := range load {
+		if v > mk {
+			mk = v
+		}
+	}
+	return mk
+}
+
+func sortDesc(a []float64) {
+	// Simple heapsort to avoid importing sort for a hot path.
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		down(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		down(a, 0, i)
+	}
+	// Heapsort yields ascending; reverse for descending.
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+func down(a []float64, i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		max := i
+		if l < n && a[l] > a[max] {
+			max = l
+		}
+		if r < n && a[r] > a[max] {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		a[i], a[max] = a[max], a[i]
+		i = max
+	}
+}
+
+// siftDown restores the min-heap property for load[0].
+func siftDown(load []float64) {
+	n := len(load)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && load[l] < load[min] {
+			min = l
+		}
+		if r < n && load[r] < load[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		load[i], load[min] = load[min], load[i]
+		i = min
+	}
+}

@@ -1,0 +1,293 @@
+// Package faas is an in-process federated Function-as-a-Service fabric in
+// the style of funcX: a central service where functions are registered, a
+// set of user-deployed endpoints that execute them, task submission with
+// futures, batch submission, and a container-warming model (first execution
+// of a function on an endpoint pays a cold-start cost).
+//
+// Ocelot uses it to orchestrate remote compression and decompression
+// without logging in to the source or destination machines, exactly as the
+// paper describes.
+package faas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Function is an executable registered with the service. Payload and result
+// are opaque to the fabric.
+type Function func(ctx context.Context, payload interface{}) (interface{}, error)
+
+// TaskID identifies a submitted task.
+type TaskID string
+
+// TaskState tracks a task through its lifecycle.
+type TaskState uint8
+
+const (
+	// StatePending means queued, not yet executing.
+	StatePending TaskState = iota + 1
+	// StateRunning means an endpoint worker picked it up.
+	StateRunning
+	// StateDone means finished (result or error available).
+	StateDone
+)
+
+var (
+	// ErrUnknownFunction is returned for unregistered function names.
+	ErrUnknownFunction = errors.New("faas: unknown function")
+	// ErrUnknownEndpoint is returned for unregistered endpoints.
+	ErrUnknownEndpoint = errors.New("faas: unknown endpoint")
+	// ErrUnknownTask is returned for unknown task IDs.
+	ErrUnknownTask = errors.New("faas: unknown task")
+	// ErrEndpointClosed is returned when submitting to a closed endpoint.
+	ErrEndpointClosed = errors.New("faas: endpoint closed")
+)
+
+// task is the internal task record.
+type task struct {
+	id       TaskID
+	fn       string
+	payload  interface{}
+	state    TaskState
+	result   interface{}
+	err      error
+	done     chan struct{}
+	endpoint string
+}
+
+// Service is the central registry and result store.
+type Service struct {
+	mu        sync.Mutex
+	fns       map[string]Function
+	endpoints map[string]*Endpoint
+	tasks     map[TaskID]*task
+	nextID    int64
+}
+
+// NewService creates an empty fabric.
+func NewService() *Service {
+	return &Service{
+		fns:       make(map[string]Function),
+		endpoints: make(map[string]*Endpoint),
+		tasks:     make(map[TaskID]*task),
+	}
+}
+
+// RegisterFunction makes fn invokable under name. Re-registration replaces
+// the implementation (like uploading a new function version).
+func (s *Service) RegisterFunction(name string, fn Function) error {
+	if name == "" || fn == nil {
+		return errors.New("faas: invalid function registration")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fns[name] = fn
+	return nil
+}
+
+// EndpointConfig tunes a deployed endpoint.
+type EndpointConfig struct {
+	// Workers is the endpoint's concurrent executor count; ≤ 0 means 4.
+	Workers int
+	// ColdStart is the container instantiation cost paid on the first
+	// invocation of each function on this endpoint.
+	ColdStart time.Duration
+	// WarmStart is the per-invocation dispatch overhead afterwards.
+	WarmStart time.Duration
+	// QueueDepth bounds the endpoint's backlog; ≤ 0 means 1024.
+	QueueDepth int
+}
+
+// Endpoint executes tasks for one remote site.
+type Endpoint struct {
+	name   string
+	svc    *Service
+	cfg    EndpointConfig
+	queue  chan *task
+	warm   map[string]bool
+	warmMu sync.Mutex
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// DeployEndpoint registers and starts an endpoint.
+func (s *Service) DeployEndpoint(name string, cfg EndpointConfig) (*Endpoint, error) {
+	if name == "" {
+		return nil, errors.New("faas: endpoint needs a name")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.endpoints[name]; exists {
+		return nil, fmt.Errorf("faas: endpoint %q already deployed", name)
+	}
+	ep := &Endpoint{
+		name:   name,
+		svc:    s,
+		cfg:    cfg,
+		queue:  make(chan *task, cfg.QueueDepth),
+		warm:   make(map[string]bool),
+		closed: make(chan struct{}),
+	}
+	s.endpoints[name] = ep
+	for w := 0; w < cfg.Workers; w++ {
+		ep.wg.Add(1)
+		go ep.worker()
+	}
+	return ep, nil
+}
+
+// Close drains the endpoint: queued tasks finish, then workers exit.
+func (e *Endpoint) Close() {
+	e.once.Do(func() {
+		close(e.closed)
+		close(e.queue)
+	})
+	e.wg.Wait()
+	e.svc.mu.Lock()
+	delete(e.svc.endpoints, e.name)
+	e.svc.mu.Unlock()
+}
+
+func (e *Endpoint) worker() {
+	defer e.wg.Done()
+	for t := range e.queue {
+		e.execute(t)
+	}
+}
+
+func (e *Endpoint) execute(t *task) {
+	e.svc.mu.Lock()
+	fn, ok := e.svc.fns[t.fn]
+	t.state = StateRunning
+	e.svc.mu.Unlock()
+	if !ok {
+		e.finish(t, nil, fmt.Errorf("%w: %s", ErrUnknownFunction, t.fn))
+		return
+	}
+	// Container warming: cold start on first use of this function here.
+	e.warmMu.Lock()
+	isWarm := e.warm[t.fn]
+	e.warm[t.fn] = true
+	e.warmMu.Unlock()
+	if !isWarm && e.cfg.ColdStart > 0 {
+		time.Sleep(e.cfg.ColdStart)
+	} else if e.cfg.WarmStart > 0 {
+		time.Sleep(e.cfg.WarmStart)
+	}
+	res, err := fn(context.Background(), t.payload)
+	e.finish(t, res, err)
+}
+
+func (e *Endpoint) finish(t *task, res interface{}, err error) {
+	e.svc.mu.Lock()
+	t.result = res
+	t.err = err
+	t.state = StateDone
+	e.svc.mu.Unlock()
+	close(t.done)
+}
+
+// Submit queues a function invocation on an endpoint and returns a TaskID.
+func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, error) {
+	s.mu.Lock()
+	ep, ok := s.endpoints[endpoint]
+	if !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrUnknownEndpoint, endpoint)
+	}
+	if _, ok := s.fns[fn]; !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrUnknownFunction, fn)
+	}
+	s.nextID++
+	id := TaskID("task-" + strconv.FormatInt(s.nextID, 10))
+	t := &task{id: id, fn: fn, payload: payload, state: StatePending,
+		done: make(chan struct{}), endpoint: endpoint}
+	s.tasks[id] = t
+	s.mu.Unlock()
+
+	select {
+	case <-ep.closed:
+		return "", ErrEndpointClosed
+	case ep.queue <- t:
+		return id, nil
+	}
+}
+
+// SubmitBatch submits the same function once per payload (funcX batching).
+func (s *Service) SubmitBatch(endpoint, fn string, payloads []interface{}) ([]TaskID, error) {
+	ids := make([]TaskID, 0, len(payloads))
+	for _, p := range payloads {
+		id, err := s.Submit(endpoint, fn, p)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// Wait blocks until the task finishes or ctx is cancelled.
+func (s *Service) Wait(ctx context.Context, id TaskID) (interface{}, error) {
+	s.mu.Lock()
+	t, ok := s.tasks[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.done:
+		return t.result, t.err
+	}
+}
+
+// WaitAll waits for every task, returning results in order; the first error
+// is returned but all tasks are awaited.
+func (s *Service) WaitAll(ctx context.Context, ids []TaskID) ([]interface{}, error) {
+	out := make([]interface{}, len(ids))
+	var firstErr error
+	for i, id := range ids {
+		res, err := s.Wait(ctx, id)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("faas: task %s: %w", id, err)
+		}
+		out[i] = res
+	}
+	return out, firstErr
+}
+
+// State reports the current state of a task.
+func (s *Service) State(id TaskID) (TaskState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	return t.state, nil
+}
+
+// Endpoints lists deployed endpoint names.
+func (s *Service) Endpoints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.endpoints))
+	for n := range s.endpoints {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package faas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newFabric(t *testing.T, workers int) (*Service, *Endpoint) {
+	t.Helper()
+	svc := NewService()
+	ep, err := svc.DeployEndpoint("anvil", EndpointConfig{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ep.Close)
+	return svc, ep
+}
+
+func TestSubmitAndWait(t *testing.T) {
+	svc, _ := newFabric(t, 2)
+	if err := svc.RegisterFunction("double", func(ctx context.Context, p interface{}) (interface{}, error) {
+		v, ok := p.(int)
+		if !ok {
+			return nil, errors.New("bad payload")
+		}
+		return v * 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := svc.Submit("anvil", "double", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 42 {
+		t.Fatalf("res = %v", res)
+	}
+	st, err := svc.State(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StateDone {
+		t.Fatalf("state = %v", st)
+	}
+}
+
+func TestFunctionError(t *testing.T) {
+	svc, _ := newFabric(t, 1)
+	wantErr := errors.New("exploded")
+	_ = svc.RegisterFunction("boom", func(ctx context.Context, p interface{}) (interface{}, error) {
+		return nil, wantErr
+	})
+	id, err := svc.Submit("anvil", "boom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), id); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownTargets(t *testing.T) {
+	svc, _ := newFabric(t, 1)
+	_ = svc.RegisterFunction("f", func(ctx context.Context, p interface{}) (interface{}, error) { return nil, nil })
+	if _, err := svc.Submit("nope", "f", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := svc.Submit("anvil", "nope", nil); !errors.Is(err, ErrUnknownFunction) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := svc.Wait(context.Background(), "task-999"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := svc.State("task-999"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	svc := NewService()
+	if err := svc.RegisterFunction("", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := svc.DeployEndpoint("", EndpointConfig{}); err == nil {
+		t.Fatal("want error")
+	}
+	ep, err := svc.DeployEndpoint("e", EndpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := svc.DeployEndpoint("e", EndpointConfig{}); err == nil {
+		t.Fatal("duplicate endpoint must error")
+	}
+}
+
+func TestBatchSubmission(t *testing.T) {
+	svc, _ := newFabric(t, 4)
+	_ = svc.RegisterFunction("square", func(ctx context.Context, p interface{}) (interface{}, error) {
+		v := p.(int)
+		return v * v, nil
+	})
+	payloads := make([]interface{}, 20)
+	for i := range payloads {
+		payloads[i] = i
+	}
+	ids, err := svc.SubmitBatch("anvil", "square", payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := svc.WaitAll(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("result[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestContainerWarming(t *testing.T) {
+	svc := NewService()
+	ep, err := svc.DeployEndpoint("cold", EndpointConfig{
+		Workers: 1, ColdStart: 30 * time.Millisecond, WarmStart: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	_ = svc.RegisterFunction("noop", func(ctx context.Context, p interface{}) (interface{}, error) {
+		return nil, nil
+	})
+	timeInvoke := func() time.Duration {
+		start := time.Now()
+		id, err := svc.Submit("cold", "noop", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	cold := timeInvoke()
+	warm := timeInvoke()
+	if cold < 25*time.Millisecond {
+		t.Fatalf("cold start too fast: %v", cold)
+	}
+	if warm >= cold {
+		t.Fatalf("warm (%v) should beat cold (%v)", warm, cold)
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	svc, _ := newFabric(t, 1)
+	block := make(chan struct{})
+	_ = svc.RegisterFunction("stall", func(ctx context.Context, p interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	})
+	id, err := svc.Submit("anvil", "stall", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Wait(ctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	close(block)
+	if _, err := svc.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	svc, _ := newFabric(t, 8)
+	_ = svc.RegisterFunction("id", func(ctx context.Context, p interface{}) (interface{}, error) {
+		return p, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id, err := svc.Submit("anvil", "id", fmt.Sprintf("%d-%d", g, i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := svc.Wait(context.Background(), id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res != fmt.Sprintf("%d-%d", g, i) {
+					errs <- fmt.Errorf("wrong result %v", res)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointsListing(t *testing.T) {
+	svc, _ := newFabric(t, 1)
+	eps := svc.Endpoints()
+	if len(eps) != 1 || eps[0] != "anvil" {
+		t.Fatalf("endpoints = %v", eps)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	svc := NewService()
+	ep, err := svc.DeployEndpoint("tmp", EndpointConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = svc.RegisterFunction("f", func(ctx context.Context, p interface{}) (interface{}, error) { return nil, nil })
+	ep.Close()
+	if _, err := svc.Submit("tmp", "f", nil); err == nil {
+		t.Fatal("submit to closed endpoint must error")
+	}
+}

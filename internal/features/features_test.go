@@ -1,0 +1,188 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/quant"
+	"ocelot/internal/sz"
+)
+
+func testField(t *testing.T) *datagen.Field {
+	t.Helper()
+	f, err := datagen.Generate("CESM", "TMQ", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExtractBasics(t *testing.T) {
+	f := testField(t)
+	cfg := sz.DefaultConfig(1e-3)
+	v, err := Extract(f.Data, f.Dims, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Log10EB != -3 {
+		t.Errorf("log10 eb = %v", v.Log10EB)
+	}
+	if v.Compressor != float64(sz.PredictorInterp) {
+		t.Errorf("compressor = %v", v.Compressor)
+	}
+	if v.ValueRange <= 0 {
+		t.Errorf("range = %v", v.ValueRange)
+	}
+	if v.P0Quant < 0 || v.P0Quant > 1 {
+		t.Errorf("p0 = %v", v.P0Quant)
+	}
+	if v.HuffP0 < 0 || v.HuffP0 > 1 {
+		t.Errorf("P0 = %v", v.HuffP0)
+	}
+	if v.Rrle < 1-1e-9 {
+		t.Errorf("Rrle = %v, must be ≥ 1", v.Rrle)
+	}
+	if len(v.Slice()) != NumFeatures {
+		t.Errorf("slice length %d != %d", len(v.Slice()), NumFeatures)
+	}
+	if len(Names) != NumFeatures {
+		t.Errorf("Names length mismatch")
+	}
+}
+
+func TestP0GrowsWithErrorBound(t *testing.T) {
+	f := testField(t)
+	var prev float64 = -1
+	for _, eb := range []float64{1e-6, 1e-4, 1e-2, 1e-1} {
+		v, err := Extract(f.Data, f.Dims, sz.DefaultConfig(eb), Options{SampleStride: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.P0Quant < prev-0.05 {
+			t.Errorf("p0 should broadly grow with eb: eb=%g p0=%.3f prev=%.3f", eb, v.P0Quant, prev)
+		}
+		prev = v.P0Quant
+	}
+}
+
+func TestQuantEntropyFallsWithErrorBound(t *testing.T) {
+	f := testField(t)
+	small, err := Extract(f.Data, f.Dims, sz.DefaultConfig(1e-6), Options{SampleStride: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Extract(f.Data, f.Dims, sz.DefaultConfig(1e-1), Options{SampleStride: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.QuantEntropy >= small.QuantEntropy {
+		t.Errorf("entropy should fall with eb: %.3f !< %.3f", large.QuantEntropy, small.QuantEntropy)
+	}
+}
+
+func TestSampledFeaturesApproximateFullRun(t *testing.T) {
+	f := testField(t)
+	cfg := sz.DefaultConfig(1e-3)
+	v, err := Extract(f.Data, f.Dims, cfg, Options{SampleStride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full compression's Lorenzo-free stats won't match exactly (the real
+	// run uses interp over reconstructed values), but p0 should be in the
+	// same regime — this mirrors the paper's observation that sampled
+	// features are "different from the actual percentage" yet predictive.
+	_, st, err := sz.Compress(f.Data, f.Dims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.P0Quant-st.P0Quant) > 0.5 {
+		t.Errorf("sampled p0 %.3f far from full-run p0 %.3f", v.P0Quant, st.P0Quant)
+	}
+}
+
+func TestFromCodes(t *testing.T) {
+	radius := 8
+	zero := radius
+	codes := []int{zero, zero, zero, zero + 1, zero - 1, zero, zero, zero}
+	cf, err := FromCodes(codes, radius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cf.P0Quant-0.75) > 1e-12 {
+		t.Errorf("p0 = %v want 0.75", cf.P0Quant)
+	}
+	if cf.QuantEntropy <= 0 {
+		t.Errorf("entropy = %v", cf.QuantEntropy)
+	}
+	if cf.Rrle < 1 {
+		t.Errorf("rrle = %v", cf.Rrle)
+	}
+	if _, err := FromCodes(nil, radius); err == nil {
+		t.Error("empty codes must error")
+	}
+	if _, err := FromCodes([]int{-1}, radius); err == nil {
+		t.Error("negative codes must error")
+	}
+}
+
+func TestRrleFormula(t *testing.T) {
+	// p0=1, P0=1 → denominator (1-1)*1 + (1-1) = 0 → clamped, huge value.
+	if r := Rrle(1, 1); r < 1e8 {
+		t.Errorf("degenerate rrle = %v", r)
+	}
+	// p0=0 → 1/((1)·P0 + 1−P0) = 1.
+	if r := Rrle(0, 0.5); math.Abs(r-1) > 1e-12 {
+		t.Errorf("rrle(0,0.5) = %v want 1", r)
+	}
+	// Monotone in p0 for fixed P0.
+	if Rrle(0.9, 0.5) <= Rrle(0.1, 0.5) {
+		t.Error("rrle must grow with p0")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(nil, nil, sz.DefaultConfig(1e-3), Options{}); err == nil {
+		t.Error("empty data must error")
+	}
+	f := testField(t)
+	if _, err := Extract(f.Data, f.Dims, sz.Config{}, Options{}); err == nil {
+		t.Error("zero eb must error")
+	}
+	if _, err := Extract(f.Data, []int{1, 2, 3}, sz.DefaultConfig(1e-3), Options{}); err == nil {
+		t.Error("bad dims must error")
+	}
+}
+
+func TestEscapeHeavyCodes(t *testing.T) {
+	// All escapes: p0 = 0, P0 = 0, Rrle = 1.
+	codes := make([]int, 100)
+	for i := range codes {
+		codes[i] = quant.EscapeCode
+	}
+	cf, err := FromCodes(codes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.P0Quant != 0 {
+		t.Errorf("p0 = %v", cf.P0Quant)
+	}
+	if math.Abs(cf.Rrle-1) > 1e-9 {
+		t.Errorf("rrle = %v", cf.Rrle)
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	f, err := datagen.Generate("CESM", "TMQ", 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sz.DefaultConfig(1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(f.Data, f.Dims, cfg, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,441 @@
+// Package gridftp implements a GridFTP-inspired transfer protocol over TCP:
+// a JSON-line control channel negotiates a session, and the payload moves
+// over multiple parallel data channels (the "concurrency" knob of the
+// Globus transfer service). Every file is integrity-checked with CRC-32.
+//
+// The WAN simulator (internal/wan) models this protocol's behaviour at
+// testbed scale; this package is the actual wire implementation used by
+// integration tests and local deployments.
+package gridftp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// File is one transfer unit.
+type File struct {
+	// Name is a relative path at the destination; ".." is rejected.
+	Name string
+	// Data is the payload.
+	Data []byte
+}
+
+// Summary reports a completed session.
+type Summary struct {
+	Files   int     `json:"files"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	MBps    float64 `json:"mbps"`
+}
+
+// Protocol limits.
+const (
+	maxNameLen = 4096
+	maxFileLen = int64(1) << 36
+)
+
+var (
+	// ErrChecksum indicates payload corruption detected by CRC-32.
+	ErrChecksum = errors.New("gridftp: checksum mismatch")
+	// ErrBadName indicates an unsafe destination path.
+	ErrBadName = errors.New("gridftp: unsafe file name")
+	// ErrSession indicates a control-protocol failure.
+	ErrSession = errors.New("gridftp: session error")
+)
+
+// --- Server ---
+
+// Server receives files into a root directory.
+type Server struct {
+	ln   net.Listener
+	dir  string
+	mu   sync.Mutex
+	sess map[string]*session
+	wg   sync.WaitGroup
+	done chan struct{}
+	next atomic.Int64
+}
+
+type session struct {
+	expected int
+	received atomic.Int64
+	bytes    atomic.Int64
+	failed   atomic.Bool
+	reason   atomic.Value // string
+	complete chan struct{}
+	once     sync.Once
+}
+
+func (s *session) fail(reason string) {
+	s.failed.Store(true)
+	s.reason.Store(reason)
+	s.finish()
+}
+
+func (s *session) finish() { s.once.Do(func() { close(s.complete) }) }
+
+// NewServer starts a server on 127.0.0.1 (ephemeral port) writing received
+// files under dir.
+func NewServer(dir string) (*Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gridftp: root dir: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: listen: %w", err)
+	}
+	s := &Server{ln: ln, dir: dir, sess: make(map[string]*session), done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's dial address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for handlers to drain.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+// handle dispatches a connection by its first line: "CTRL" or "DATA <id>".
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "CTRL":
+		s.handleControl(conn, r)
+	case strings.HasPrefix(line, "DATA "):
+		s.handleData(strings.TrimPrefix(line, "DATA "), r)
+	}
+}
+
+type ctrlRequest struct {
+	Files    int `json:"files"`
+	Channels int `json:"channels"`
+}
+
+type ctrlReply struct {
+	OK      bool   `json:"ok"`
+	Session string `json:"session,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (s *Server) handleControl(conn net.Conn, r *bufio.Reader) {
+	var req ctrlRequest
+	line, err := r.ReadString('\n')
+	if err != nil || json.Unmarshal([]byte(line), &req) != nil {
+		_ = json.NewEncoder(conn).Encode(ctrlReply{Error: "bad request"})
+		return
+	}
+	if req.Files <= 0 || req.Channels <= 0 || req.Channels > 64 {
+		_ = json.NewEncoder(conn).Encode(ctrlReply{Error: "invalid session parameters"})
+		return
+	}
+	id := strconv.FormatInt(s.next.Add(1), 10)
+	sess := &session{expected: req.Files, complete: make(chan struct{})}
+	s.mu.Lock()
+	s.sess[id] = sess
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sess, id)
+		s.mu.Unlock()
+	}()
+	if err := json.NewEncoder(conn).Encode(ctrlReply{OK: true, Session: id}); err != nil {
+		return
+	}
+	// Wait for completion or client drop.
+	select {
+	case <-sess.complete:
+	case <-s.done:
+		return
+	}
+	reply := ctrlReply{OK: !sess.failed.Load(), Session: id}
+	if sess.failed.Load() {
+		if r, ok := sess.reason.Load().(string); ok {
+			reply.Error = r
+		}
+	}
+	_ = json.NewEncoder(conn).Encode(reply)
+}
+
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess[id]
+}
+
+// handleData reads file frames until EOF.
+func (s *Server) handleData(id string, r *bufio.Reader) {
+	sess := s.lookup(id)
+	if sess == nil {
+		return
+	}
+	for {
+		name, data, err := readFrame(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			sess.fail(err.Error())
+			return
+		}
+		if err := s.store(name, data); err != nil {
+			sess.fail(err.Error())
+			return
+		}
+		sess.bytes.Add(int64(len(data)))
+		if sess.received.Add(1) == int64(sess.expected) {
+			sess.finish()
+		}
+	}
+}
+
+func (s *Server) store(name string, data []byte) error {
+	clean := filepath.Clean(name)
+	if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	path := filepath.Join(s.dir, clean)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// --- Wire framing ---
+//
+// Frame: u16 nameLen | name | u64 size | payload | u32 crc32(payload).
+
+func writeFrame(w io.Writer, f File) error {
+	if len(f.Name) == 0 || len(f.Name) > maxNameLen {
+		return fmt.Errorf("%w: %q", ErrBadName, f.Name)
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(f.Name)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, f.Name); err != nil {
+		return err
+	}
+	var sz [8]byte
+	binary.LittleEndian.PutUint64(sz[:], uint64(len(f.Data)))
+	if _, err := w.Write(sz[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(f.Data); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(f.Data))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err // io.EOF at a frame boundary is clean
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[:]))
+	if nameLen == 0 || nameLen > maxNameLen {
+		return "", nil, fmt.Errorf("%w: name length %d", ErrSession, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, fmt.Errorf("gridftp: short name: %w", err)
+	}
+	var sz [8]byte
+	if _, err := io.ReadFull(r, sz[:]); err != nil {
+		return "", nil, fmt.Errorf("gridftp: short size: %w", err)
+	}
+	size := int64(binary.LittleEndian.Uint64(sz[:]))
+	if size < 0 || size > maxFileLen {
+		return "", nil, fmt.Errorf("%w: size %d", ErrSession, size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return "", nil, fmt.Errorf("gridftp: short payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return "", nil, fmt.Errorf("gridftp: short crc: %w", err)
+	}
+	if crc32.ChecksumIEEE(data) != binary.LittleEndian.Uint32(crc[:]) {
+		return "", nil, ErrChecksum
+	}
+	return string(name), data, nil
+}
+
+// --- Client ---
+
+// Client transfers file batches to one server.
+type Client struct {
+	addr     string
+	channels int
+}
+
+// Dial prepares a client for addr with the given data-channel concurrency.
+func Dial(addr string, channels int) (*Client, error) {
+	if channels <= 0 {
+		channels = 4
+	}
+	if channels > 64 {
+		return nil, errors.New("gridftp: too many channels")
+	}
+	return &Client{addr: addr, channels: channels}, nil
+}
+
+// Transfer sends files over parallel data channels and waits for the
+// server's integrity confirmation.
+func (c *Client) Transfer(ctx context.Context, files []File) (*Summary, error) {
+	if len(files) == 0 {
+		return &Summary{}, nil
+	}
+	start := time.Now()
+
+	ctrl, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: control dial: %w", err)
+	}
+	defer ctrl.Close()
+	if _, err := io.WriteString(ctrl, "CTRL\n"); err != nil {
+		return nil, err
+	}
+	if err := json.NewEncoder(ctrl).Encode(ctrlRequest{Files: len(files), Channels: c.channels}); err != nil {
+		return nil, err
+	}
+	ctrlR := bufio.NewReader(ctrl)
+	var hello ctrlReply
+	if err := decodeLine(ctrlR, &hello); err != nil {
+		return nil, fmt.Errorf("gridftp: handshake: %w", err)
+	}
+	if !hello.OK {
+		return nil, fmt.Errorf("%w: %s", ErrSession, hello.Error)
+	}
+
+	// Feed files to channel workers.
+	queue := make(chan int)
+	channels := c.channels
+	if channels > len(files) {
+		channels = len(files)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, channels)
+	for w := 0; w < channels; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", c.addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer conn.Close()
+			bw := bufio.NewWriterSize(conn, 256<<10)
+			if _, err := io.WriteString(bw, "DATA "+hello.Session+"\n"); err != nil {
+				errCh <- err
+				return
+			}
+			for idx := range queue {
+				if err := writeFrame(bw, files[idx]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+feed:
+	for i := range files {
+		select {
+		case <-ctx.Done():
+			break feed
+		case queue <- i:
+		}
+	}
+	close(queue)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, fmt.Errorf("gridftp: data channel: %w", err)
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Await server confirmation.
+	var final ctrlReply
+	if err := decodeLine(ctrlR, &final); err != nil {
+		return nil, fmt.Errorf("gridftp: confirmation: %w", err)
+	}
+	if !final.OK {
+		return nil, fmt.Errorf("%w: %s", ErrSession, final.Error)
+	}
+	var bytes int64
+	for _, f := range files {
+		bytes += int64(len(f.Data))
+	}
+	elapsed := time.Since(start).Seconds()
+	sum := &Summary{Files: len(files), Bytes: bytes, Seconds: elapsed}
+	if elapsed > 0 {
+		sum.MBps = float64(bytes) / 1e6 / elapsed
+	}
+	return sum, nil
+}
+
+func decodeLine(r *bufio.Reader, v interface{}) error {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal([]byte(line), v)
+}

@@ -1,0 +1,416 @@
+// Package huffman implements a canonical Huffman coder for the quantization
+// codes produced by the SZ-style compressors. The encoder builds an optimal
+// prefix code from symbol frequencies, converts it to canonical form (so only
+// code lengths need to be serialized), and packs codes MSB-first via
+// package bitstream.
+//
+// The decoder reconstructs the canonical table from the serialized lengths
+// and decodes with a simple length-bucketed lookup, which is fast enough for
+// the symbol alphabets used here (quantization bins, typically ≤ 2^16
+// distinct symbols).
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ocelot/internal/bitstream"
+)
+
+// Maximum supported code length. Canonical Huffman codes for realistic
+// quantization-bin distributions stay well under this.
+const maxCodeLen = 58
+
+var (
+	// ErrCorrupt indicates the encoded stream or table is malformed.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+	// ErrTooManySymbols indicates the alphabet exceeds the supported size.
+	ErrTooManySymbols = errors.New("huffman: too many symbols")
+)
+
+// Code describes the canonical code assigned to one symbol.
+type Code struct {
+	Bits uint64 // code bits, right-aligned
+	Len  uint8  // code length in bits; 0 = symbol unused
+}
+
+// Table is a canonical Huffman code table mapping symbol -> code.
+type Table struct {
+	codes   []Code
+	symbols int
+}
+
+type hNode struct {
+	freq        uint64
+	symbol      int // -1 for internal
+	left, right *hNode
+	order       int // tie-break for determinism
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// BuildTable constructs a canonical Huffman table from symbol frequencies.
+// freqs[i] is the occurrence count of symbol i; zero-frequency symbols get
+// no code. At least one symbol must have nonzero frequency.
+func BuildTable(freqs []uint64) (*Table, error) {
+	if len(freqs) == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	if len(freqs) > 1<<24 {
+		return nil, ErrTooManySymbols
+	}
+	var nodes []*hNode
+	for sym, f := range freqs {
+		if f > 0 {
+			nodes = append(nodes, &hNode{freq: f, symbol: sym, order: sym})
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("huffman: no symbols with nonzero frequency")
+	}
+	lengths := make([]uint8, len(freqs))
+	if len(nodes) == 1 {
+		// Degenerate alphabet: assign a 1-bit code.
+		lengths[nodes[0].symbol] = 1
+	} else {
+		h := hHeap(nodes)
+		heap.Init(&h)
+		order := len(freqs)
+		for h.Len() > 1 {
+			a := heap.Pop(&h).(*hNode)
+			b := heap.Pop(&h).(*hNode)
+			order++
+			heap.Push(&h, &hNode{
+				freq: a.freq + b.freq, symbol: -1, left: a, right: b, order: order,
+			})
+		}
+		root := h[0]
+		if err := assignLengths(root, 0, lengths); err != nil {
+			// Pathologically skewed distributions can exceed the supported
+			// depth; fall back to near-uniform codes (depth ≤ log2 alphabet).
+			flat := make([]uint64, len(freqs))
+			for sym, f := range freqs {
+				if f > 0 {
+					flat[sym] = 1
+				}
+			}
+			return BuildTable(flat)
+		}
+	}
+	return tableFromLengths(lengths)
+}
+
+func assignLengths(n *hNode, depth uint8, lengths []uint8) error {
+	if n.symbol >= 0 {
+		if depth == 0 {
+			depth = 1
+		}
+		if depth > maxCodeLen {
+			return fmt.Errorf("huffman: code length %d exceeds max %d", depth, maxCodeLen)
+		}
+		lengths[n.symbol] = depth
+		return nil
+	}
+	if err := assignLengths(n.left, depth+1, lengths); err != nil {
+		return err
+	}
+	return assignLengths(n.right, depth+1, lengths)
+}
+
+// tableFromLengths assigns canonical codes: symbols sorted by (length, value).
+func tableFromLengths(lengths []uint8) (*Table, error) {
+	type symLen struct {
+		sym int
+		ln  uint8
+	}
+	var used []symLen
+	for sym, ln := range lengths {
+		if ln > 0 {
+			if ln > maxCodeLen {
+				return nil, ErrCorrupt
+			}
+			used = append(used, symLen{sym, ln})
+		}
+	}
+	if len(used) == 0 {
+		return nil, ErrCorrupt
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].ln != used[j].ln {
+			return used[i].ln < used[j].ln
+		}
+		return used[i].sym < used[j].sym
+	})
+	codes := make([]Code, len(lengths))
+	var code uint64
+	prevLen := used[0].ln
+	for _, sl := range used {
+		code <<= sl.ln - prevLen
+		// Validate the code fits in its length (overflow means invalid lengths).
+		if sl.ln < 64 && code >= 1<<sl.ln {
+			return nil, ErrCorrupt
+		}
+		codes[sl.sym] = Code{Bits: code, Len: sl.ln}
+		code++
+		prevLen = sl.ln
+	}
+	return &Table{codes: codes, symbols: len(used)}, nil
+}
+
+// NumSymbols reports the number of symbols with assigned codes.
+func (t *Table) NumSymbols() int { return t.symbols }
+
+// CodeFor returns the code for symbol sym, or Len==0 if unused.
+func (t *Table) CodeFor(sym int) Code {
+	if sym < 0 || sym >= len(t.codes) {
+		return Code{}
+	}
+	return t.codes[sym]
+}
+
+// AlphabetSize reports the size of the alphabet (max symbol + 1).
+func (t *Table) AlphabetSize() int { return len(t.codes) }
+
+// EncodedBits returns the total bits required to encode data with this table,
+// or an error if data contains a symbol without a code.
+func (t *Table) EncodedBits(data []int) (int, error) {
+	total := 0
+	for _, sym := range data {
+		if sym < 0 || sym >= len(t.codes) || t.codes[sym].Len == 0 {
+			return 0, fmt.Errorf("huffman: symbol %d has no code", sym)
+		}
+		total += int(t.codes[sym].Len)
+	}
+	return total, nil
+}
+
+// Encode compresses data (symbol stream) using table t and returns the
+// serialized stream: [table][count][payload bits].
+func Encode(data []int, t *Table) ([]byte, error) {
+	header := t.serialize()
+	w := bitstream.NewWriter(len(data)/2 + 16)
+	for _, sym := range data {
+		if sym < 0 || sym >= len(t.codes) {
+			return nil, fmt.Errorf("huffman: symbol %d out of alphabet", sym)
+		}
+		c := t.codes[sym]
+		if c.Len == 0 {
+			return nil, fmt.Errorf("huffman: symbol %d has no code", sym)
+		}
+		w.WriteBits(c.Bits, uint(c.Len))
+	}
+	payload := w.Bytes()
+	out := make([]byte, 0, len(header)+8+len(payload))
+	out = append(out, header...)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(len(data)))
+	out = append(out, cnt[:]...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// EncodeWithFreqs builds a table from the data's own frequencies and encodes.
+func EncodeWithFreqs(data []int, alphabetSize int) ([]byte, error) {
+	if alphabetSize <= 0 {
+		return nil, errors.New("huffman: alphabet size must be positive")
+	}
+	freqs := make([]uint64, alphabetSize)
+	for _, sym := range data {
+		if sym < 0 || sym >= alphabetSize {
+			return nil, fmt.Errorf("huffman: symbol %d out of alphabet %d", sym, alphabetSize)
+		}
+		freqs[sym]++
+	}
+	if len(data) == 0 {
+		// Emit an empty stream with a minimal one-symbol table.
+		freqs[0] = 1
+	}
+	t, err := BuildTable(freqs)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(data, t)
+}
+
+// Decode decompresses a stream produced by Encode/EncodeWithFreqs.
+func Decode(stream []byte) ([]int, error) {
+	t, rest, err := deserializeTable(stream)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 8 {
+		return nil, ErrCorrupt
+	}
+	count := binary.LittleEndian.Uint64(rest[:8])
+	if count > 1<<40 {
+		return nil, ErrCorrupt
+	}
+	payload := rest[8:]
+	dec, err := newDecoder(t)
+	if err != nil {
+		return nil, err
+	}
+	r := bitstream.NewReader(payload)
+	out := make([]int, count)
+	for i := range out {
+		sym, err := dec.decodeOne(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sym
+	}
+	return out, nil
+}
+
+// serialize emits the canonical table as:
+// [u32 alphabetSize][u32 usedCount] then usedCount × ([u32 symbol][u8 len]).
+func (t *Table) serialize() []byte {
+	var out []byte
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(t.codes)))
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(t.symbols))
+	out = append(out, b4[:]...)
+	for sym, c := range t.codes {
+		if c.Len == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint32(b4[:], uint32(sym))
+		out = append(out, b4[:]...)
+		out = append(out, c.Len)
+	}
+	return out
+}
+
+func deserializeTable(stream []byte) (*Table, []byte, error) {
+	if len(stream) < 8 {
+		return nil, nil, ErrCorrupt
+	}
+	alphabet := int(binary.LittleEndian.Uint32(stream[:4]))
+	used := int(binary.LittleEndian.Uint32(stream[4:8]))
+	if alphabet <= 0 || alphabet > 1<<24 || used <= 0 || used > alphabet {
+		return nil, nil, ErrCorrupt
+	}
+	need := 8 + used*5
+	if len(stream) < need {
+		return nil, nil, ErrCorrupt
+	}
+	lengths := make([]uint8, alphabet)
+	off := 8
+	for i := 0; i < used; i++ {
+		sym := int(binary.LittleEndian.Uint32(stream[off : off+4]))
+		ln := stream[off+4]
+		off += 5
+		if sym < 0 || sym >= alphabet || ln == 0 || ln > maxCodeLen {
+			return nil, nil, ErrCorrupt
+		}
+		lengths[sym] = ln
+	}
+	t, err := tableFromLengths(lengths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, stream[need:], nil
+}
+
+// decoder performs canonical decoding by length buckets: for each code
+// length L it records the first code value and the index of the first
+// symbol with that length in the sorted symbol list.
+type decoder struct {
+	firstCode  [maxCodeLen + 2]uint64
+	firstIndex [maxCodeLen + 2]int
+	count      [maxCodeLen + 2]int
+	symbols    []int // sorted by (len, symbol)
+	minLen     uint8
+	maxLen     uint8
+}
+
+func newDecoder(t *Table) (*decoder, error) {
+	type symLen struct {
+		sym int
+		ln  uint8
+	}
+	var used []symLen
+	for sym, c := range t.codes {
+		if c.Len > 0 {
+			used = append(used, symLen{sym, c.Len})
+		}
+	}
+	if len(used) == 0 {
+		return nil, ErrCorrupt
+	}
+	sort.Slice(used, func(i, j int) bool {
+		if used[i].ln != used[j].ln {
+			return used[i].ln < used[j].ln
+		}
+		return used[i].sym < used[j].sym
+	})
+	d := &decoder{
+		symbols: make([]int, len(used)),
+		minLen:  used[0].ln,
+		maxLen:  used[len(used)-1].ln,
+	}
+	for i, sl := range used {
+		d.symbols[i] = sl.sym
+		d.count[sl.ln]++
+	}
+	var code uint64
+	idx := 0
+	for ln := d.minLen; ln <= d.maxLen; ln++ {
+		d.firstCode[ln] = code
+		d.firstIndex[ln] = idx
+		code = (code + uint64(d.count[ln])) << 1
+		idx += d.count[ln]
+	}
+	return d, nil
+}
+
+func (d *decoder) decodeOne(r *bitstream.Reader) (int, error) {
+	var code uint64
+	var ln uint8
+	for ln < d.minLen {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(b)
+		ln++
+	}
+	for {
+		if d.count[ln] > 0 {
+			offset := code - d.firstCode[ln]
+			if code >= d.firstCode[ln] && offset < uint64(d.count[ln]) {
+				return d.symbols[d.firstIndex[ln]+int(offset)], nil
+			}
+		}
+		if ln >= d.maxLen {
+			return 0, ErrCorrupt
+		}
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(b)
+		ln++
+	}
+}

@@ -1,0 +1,248 @@
+package huffman
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	data := []int{0, 1, 2, 1, 0, 0, 0, 3, 2, 1, 0}
+	enc, err := EncodeWithFreqs(data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, data) {
+		t.Fatalf("got %v want %v", dec, data)
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	data := []int{5, 5, 5, 5, 5}
+	enc, err := EncodeWithFreqs(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, data) {
+		t.Fatalf("got %v want %v", dec, data)
+	}
+}
+
+func TestEmptyData(t *testing.T) {
+	enc, err := EncodeWithFreqs(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("want empty, got %v", dec)
+	}
+}
+
+func TestPrefixFree(t *testing.T) {
+	freqs := []uint64{100, 50, 25, 12, 6, 3, 2, 1}
+	tbl, err := BuildTable(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(freqs); i++ {
+		ci := tbl.CodeFor(i)
+		for j := 0; j < len(freqs); j++ {
+			if i == j {
+				continue
+			}
+			cj := tbl.CodeFor(j)
+			if ci.Len == 0 || cj.Len == 0 {
+				continue
+			}
+			// ci must not be a prefix of cj.
+			if ci.Len <= cj.Len {
+				prefix := cj.Bits >> (cj.Len - ci.Len)
+				if prefix == ci.Bits {
+					t.Fatalf("code %d (%b/%d) is prefix of %d (%b/%d)",
+						i, ci.Bits, ci.Len, j, cj.Bits, cj.Len)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimality(t *testing.T) {
+	// More frequent symbols must not have longer codes.
+	freqs := []uint64{1000, 500, 100, 10, 1}
+	tbl, err := BuildTable(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(freqs); i++ {
+		if tbl.CodeFor(i-1).Len > tbl.CodeFor(i).Len {
+			t.Fatalf("symbol %d (freq %d) has longer code than symbol %d (freq %d)",
+				i-1, freqs[i-1], i, freqs[i])
+		}
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	// A heavily zero-dominated stream, like quantization codes at large eb.
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int, 50000)
+	for i := range data {
+		if rng.Float64() < 0.95 {
+			data[i] = 512 // the "zero" bin in SZ convention
+		} else {
+			data[i] = 512 + rng.Intn(21) - 10
+		}
+	}
+	enc, err := EncodeWithFreqs(data, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should compress far below 2 bytes/symbol.
+	if len(enc) > len(data) {
+		t.Fatalf("no compression: %d bytes for %d symbols", len(enc), len(data))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestLargeAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]int, 20000)
+	for i := range data {
+		data[i] = rng.Intn(65536)
+	}
+	enc, err := EncodeWithFreqs(data, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x01},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		make([]byte, 12),
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Fatalf("case %d: want error for corrupt input", i)
+		}
+	}
+}
+
+func TestEncodeSymbolOutOfRange(t *testing.T) {
+	if _, err := EncodeWithFreqs([]int{0, 1, 9}, 4); err == nil {
+		t.Fatal("want error for out-of-alphabet symbol")
+	}
+	if _, err := EncodeWithFreqs([]int{-1}, 4); err == nil {
+		t.Fatal("want error for negative symbol")
+	}
+}
+
+func TestEncodedBits(t *testing.T) {
+	data := []int{0, 0, 0, 1, 1, 2}
+	freqs := []uint64{3, 2, 1}
+	tbl, err := BuildTable(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := tbl.EncodedBits(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3*int(tbl.CodeFor(0).Len) + 2*int(tbl.CodeFor(1).Len) + int(tbl.CodeFor(2).Len)
+	if bits != want {
+		t.Fatalf("EncodedBits = %d want %d", bits, want)
+	}
+}
+
+// TestRoundTripQuick: random streams over random alphabets round-trip.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint16, alpha uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := int(alpha)%200 + 2
+		count := int(n) % 2000
+		data := make([]int, count)
+		for i := range data {
+			// Geometric-ish distribution to exercise variable lengths.
+			v := int(rng.ExpFloat64() * float64(alphabet) / 8)
+			if v >= alphabet {
+				v = alphabet - 1
+			}
+			data[i] = v
+		}
+		enc, err := EncodeWithFreqs(data, alphabet)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]int, 1<<16)
+	for i := range data {
+		data[i] = 512 + int(rng.NormFloat64()*4)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeWithFreqs(data, 1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]int, 1<<16)
+	for i := range data {
+		data[i] = 512 + int(rng.NormFloat64()*4)
+	}
+	enc, err := EncodeWithFreqs(data, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package lossless
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte, b Backend) {
+	t.Helper()
+	enc, err := Compress(data, b)
+	if err != nil {
+		t.Fatalf("%v compress: %v", b, err)
+	}
+	dec, err := Decompress(enc)
+	if err != nil {
+		t.Fatalf("%v decompress: %v", b, err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatalf("%v round trip mismatch: %d in, %d out", b, len(data), len(dec))
+	}
+}
+
+func TestRoundTripAllBackends(t *testing.T) {
+	inputs := map[string][]byte{
+		"empty":    {},
+		"single":   {0x42},
+		"repeated": bytes.Repeat([]byte{0xAA}, 1000),
+		"ascending": func() []byte {
+			b := make([]byte, 300)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}(),
+		"textlike": bytes.Repeat([]byte("the quick brown fox "), 64),
+		"periodic": bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7}, 500),
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 4096)
+	rng.Read(random)
+	inputs["random"] = random
+
+	for name, data := range inputs {
+		for _, b := range []Backend{None, Deflate, LZSS} {
+			t.Run(name+"/"+b.String(), func(t *testing.T) {
+				roundTrip(t, data, b)
+			})
+		}
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	data := bytes.Repeat([]byte("scientific data transfer "), 1000)
+	for _, b := range []Backend{Deflate, LZSS} {
+		enc, err := Compress(data, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) >= len(data)/2 {
+			t.Errorf("%v: weak compression: %d -> %d", b, len(data), len(enc))
+		}
+	}
+}
+
+func TestRandomDataFallsBackToNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 8192)
+	rng.Read(data)
+	enc, err := Compress(data, LZSS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Backend(enc[0]) != None {
+		t.Errorf("want fallback to None for incompressible data, got %v", Backend(enc[0]))
+	}
+	if len(enc) > len(data)+9 {
+		t.Errorf("expansion beyond header: %d -> %d", len(data), len(enc))
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},
+		{99, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown backend
+		{byte(None), 10, 0, 0, 0, 0, 0, 0, 0, 1, 2},   // size mismatch
+		{byte(LZSS), 10, 0, 0, 0, 0, 0, 0, 0},         // truncated body
+		{byte(Deflate), 4, 0, 0, 0, 0, 0, 0, 0, 0xFF}, // invalid deflate
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestUnknownBackendCompress(t *testing.T) {
+	if _, err := Compress([]byte{1}, Backend(200)); err == nil {
+		t.Fatal("want error for unknown backend")
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if None.String() != "none" || Deflate.String() != "deflate" || LZSS.String() != "lzss" {
+		t.Fatal("bad String values")
+	}
+	if Backend(42).String() == "" {
+		t.Fatal("unknown backend String empty")
+	}
+}
+
+func TestLZSSQuick(t *testing.T) {
+	f := func(seed int64, n uint16, rep uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Mix of random and repeated segments.
+		var data []byte
+		remaining := int(n)
+		for remaining > 0 {
+			seg := rng.Intn(remaining) + 1
+			if rng.Float64() < 0.5 {
+				chunk := make([]byte, seg)
+				rng.Read(chunk)
+				data = append(data, chunk...)
+			} else {
+				unit := make([]byte, rng.Intn(7)+1)
+				rng.Read(unit)
+				for len(data) < len(data)+seg && seg > 0 {
+					take := len(unit)
+					if take > seg {
+						take = seg
+					}
+					data = append(data, unit[:take]...)
+					seg -= take
+				}
+			}
+			remaining -= seg
+			if seg > 0 {
+				remaining -= 0
+			}
+			remaining = int(n) - len(data)
+		}
+		enc, err := Compress(data, LZSS)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeflate(b *testing.B) {
+	data := bytes.Repeat([]byte("ocelot transfer pipeline "), 4096)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, Deflate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLZSS(b *testing.B) {
+	data := bytes.Repeat([]byte("ocelot transfer pipeline "), 4096)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, LZSS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

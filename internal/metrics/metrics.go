@@ -1,0 +1,183 @@
+// Package metrics provides the data-quality and data-characterization
+// metrics used throughout the paper: PSNR (the distortion metric of
+// Section VI-C), RMSE, byte-level Shannon entropy (the "chaos level"
+// data feature), and basic range statistics (Table I).
+package metrics
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch indicates two slices of different lengths were compared.
+var ErrLengthMismatch = errors.New("metrics: length mismatch")
+
+// RangeStats summarizes a field's value distribution (paper Table I).
+type RangeStats struct {
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Range float64 `json:"range"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+}
+
+// ComputeRange scans data once and returns its range statistics.
+// NaN values are skipped; an all-NaN or empty input yields zeros.
+func ComputeRange(data []float64) RangeStats {
+	var st RangeStats
+	n := 0
+	var sum, sumSq float64
+	for _, v := range data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if n == 0 {
+			st.Min, st.Max = v, v
+		} else {
+			if v < st.Min {
+				st.Min = v
+			}
+			if v > st.Max {
+				st.Max = v
+			}
+		}
+		sum += v
+		sumSq += v * v
+		n++
+	}
+	if n == 0 {
+		return RangeStats{}
+	}
+	st.Range = st.Max - st.Min
+	st.Mean = sum / float64(n)
+	variance := sumSq/float64(n) - st.Mean*st.Mean
+	if variance > 0 {
+		st.Std = math.Sqrt(variance)
+	}
+	return st
+}
+
+// MSE returns the mean squared error between original and reconstructed.
+func MSE(original, reconstructed []float64) (float64, error) {
+	if len(original) != len(reconstructed) {
+		return 0, ErrLengthMismatch
+	}
+	if len(original) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range original {
+		d := original[i] - reconstructed[i]
+		s += d * d
+	}
+	return s / float64(len(original)), nil
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(original, reconstructed []float64) (float64, error) {
+	m, err := MSE(original, reconstructed)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(m), nil
+}
+
+// PSNR computes the peak signal-to-noise ratio in dB exactly as Z-checker
+// does for scientific data: PSNR = 20·log10(range) − 10·log10(MSE), where
+// range is the original data's value range. A perfect reconstruction
+// returns +Inf.
+func PSNR(original, reconstructed []float64) (float64, error) {
+	m, err := MSE(original, reconstructed)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return math.Inf(1), nil
+	}
+	r := ComputeRange(original).Range
+	if r == 0 {
+		return math.Inf(1), nil
+	}
+	return 20*math.Log10(r) - 10*math.Log10(m), nil
+}
+
+// MaxAbsError returns the L∞ distance between the slices.
+func MaxAbsError(original, reconstructed []float64) (float64, error) {
+	if len(original) != len(reconstructed) {
+		return 0, ErrLengthMismatch
+	}
+	var m float64
+	for i := range original {
+		d := math.Abs(original[i] - reconstructed[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// ByteEntropy computes the Shannon entropy (bits/byte) of the IEEE-754
+// little-endian byte representation of data, matching the paper's byte-level
+// information entropy feature. elementSize must be 4 (float32 views) or 8.
+func ByteEntropy(data []float64, elementSize int) float64 {
+	var counts [256]int
+	total := 0
+	var buf [8]byte
+	for _, v := range data {
+		switch elementSize {
+		case 4:
+			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(float32(v)))
+			for _, b := range buf[:4] {
+				counts[b]++
+			}
+			total += 4
+		default:
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			for _, b := range buf[:] {
+				counts[b]++
+			}
+			total += 8
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	ft := float64(total)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// SymbolEntropy computes the Shannon entropy (bits/symbol) of an integer
+// symbol stream, used for the quantization-entropy feature.
+func SymbolEntropy(symbols []int) float64 {
+	if len(symbols) == 0 {
+		return 0
+	}
+	counts := make(map[int]int, 256)
+	for _, s := range symbols {
+		counts[s]++
+	}
+	var h float64
+	ft := float64(len(symbols))
+	for _, c := range counts {
+		p := float64(c) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return 0
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeRange(t *testing.T) {
+	st := ComputeRange([]float64{3, -1, 4, 1, 5, -9, 2, 6})
+	if st.Min != -9 || st.Max != 6 || st.Range != 15 {
+		t.Fatalf("got %+v", st)
+	}
+	if math.Abs(st.Mean-1.375) > 1e-12 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+}
+
+func TestComputeRangeEdge(t *testing.T) {
+	if st := ComputeRange(nil); st.Range != 0 {
+		t.Fatal("empty input should be zero stats")
+	}
+	st := ComputeRange([]float64{math.NaN(), 2, math.NaN(), 4})
+	if st.Min != 2 || st.Max != 4 {
+		t.Fatalf("NaN skipping broken: %+v", st)
+	}
+	one := ComputeRange([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Range != 0 || one.Std != 0 {
+		t.Fatalf("single value stats: %+v", one)
+	}
+}
+
+func TestMSEAndRMSE(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3, 6}
+	m, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1.0 {
+		t.Fatalf("MSE = %v want 1", m)
+	}
+	r, err := RMSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1.0 {
+		t.Fatalf("RMSE = %v want 1", r)
+	}
+	if _, err := MSE(a, b[:2]); err != ErrLengthMismatch {
+		t.Fatal("want ErrLengthMismatch")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	orig := make([]float64, 1000)
+	rec := make([]float64, 1000)
+	for i := range orig {
+		orig[i] = math.Sin(float64(i) / 50)
+		rec[i] = orig[i] + 1e-4
+	}
+	p, err := PSNR(orig, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// range ≈ 2, mse = 1e-8 → PSNR = 20log10(2) + 80 ≈ 86 dB.
+	if p < 80 || p > 92 {
+		t.Fatalf("PSNR = %v, want ~86", p)
+	}
+	// Perfect reconstruction → +Inf.
+	pi, err := PSNR(orig, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(pi, 1) {
+		t.Fatalf("perfect PSNR = %v", pi)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	orig := make([]float64, 500)
+	for i := range orig {
+		orig[i] = float64(i % 37)
+	}
+	var prev = math.Inf(1)
+	for _, noise := range []float64{1e-6, 1e-4, 1e-2, 1} {
+		rec := make([]float64, len(orig))
+		for i := range rec {
+			rec[i] = orig[i] + noise
+		}
+		p, err := PSNR(orig, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Fatalf("PSNR must fall as error grows: %v !< %v", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestMaxAbsError(t *testing.T) {
+	m, err := MaxAbsError([]float64{1, 2, 3}, []float64{1.5, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1.0 {
+		t.Fatalf("max = %v", m)
+	}
+	if _, err := MaxAbsError([]float64{1}, []float64{}); err == nil {
+		t.Fatal("want mismatch error")
+	}
+}
+
+func TestByteEntropy(t *testing.T) {
+	// Constant data has low byte entropy; random data is near 8 bits/byte
+	// in the mantissa but constant in exponent, so between the two.
+	constant := make([]float64, 4096)
+	for i := range constant {
+		constant[i] = 1.0
+	}
+	ce := ByteEntropy(constant, 4)
+	if ce > 1.5 {
+		t.Fatalf("constant entropy = %v", ce)
+	}
+	varied := make([]float64, 4096)
+	for i := range varied {
+		varied[i] = float64(i)*0.7183 + math.Sin(float64(i))
+	}
+	ve := ByteEntropy(varied, 4)
+	if ve <= ce {
+		t.Fatalf("varied entropy %v should exceed constant %v", ve, ce)
+	}
+	if e := ByteEntropy(nil, 4); e != 0 {
+		t.Fatalf("empty entropy = %v", e)
+	}
+	// 8-byte view also works and differs from the 4-byte view.
+	if e8 := ByteEntropy(varied, 8); e8 <= 0 {
+		t.Fatalf("8-byte entropy = %v", e8)
+	}
+}
+
+func TestSymbolEntropy(t *testing.T) {
+	if e := SymbolEntropy(nil); e != 0 {
+		t.Fatal("empty symbol entropy")
+	}
+	uniform := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	if e := SymbolEntropy(uniform); math.Abs(e-2) > 1e-12 {
+		t.Fatalf("uniform-4 entropy = %v want 2", e)
+	}
+	constant := []int{5, 5, 5, 5}
+	if e := SymbolEntropy(constant); e != 0 {
+		t.Fatalf("constant entropy = %v", e)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if r := CompressionRatio(100, 10); r != 10 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if r := CompressionRatio(100, 0); r != 0 {
+		t.Fatalf("zero divisor ratio = %v", r)
+	}
+}
+
+// Property: PSNR is symmetric under adding the same offset to both inputs.
+func TestPSNRShiftInvariantQuick(t *testing.T) {
+	f := func(offset float64) bool {
+		if math.IsNaN(offset) || math.IsInf(offset, 0) || math.Abs(offset) > 1e6 {
+			return true
+		}
+		orig := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		rec := []float64{1.01, 2, 3.01, 4, 5.01, 6, 7.01, 8}
+		p1, err1 := PSNR(orig, rec)
+		o2 := make([]float64, len(orig))
+		r2 := make([]float64, len(rec))
+		for i := range orig {
+			o2[i] = orig[i] + offset
+			r2[i] = rec[i] + offset
+		}
+		p2, err2 := PSNR(o2, r2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(p1-p2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

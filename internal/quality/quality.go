@@ -1,0 +1,347 @@
+// Package quality implements the paper's compression-quality prediction
+// workflow (Section VI): collect (features → measured quality) samples by
+// compressing datasets at many error bounds, train decision-tree regressors
+// for compression ratio, compression speed, and PSNR, and estimate the
+// quality of unseen (dataset, config) pairs from a cheap sampling pass.
+package quality
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/dtree"
+	"ocelot/internal/features"
+	"ocelot/internal/metrics"
+	"ocelot/internal/sz"
+)
+
+// DefaultErrorBounds are the 11 log-spaced bounds from 1e-6 to 1e-1 used by
+// the paper's training sweep.
+func DefaultErrorBounds() []float64 {
+	out := make([]float64, 11)
+	for i := range out {
+		out[i] = math.Pow(10, -6+float64(i)*0.5)
+	}
+	return out
+}
+
+// Sample is one training observation: the extracted features plus the
+// measured ground truth of an actual compression run.
+type Sample struct {
+	App      string    `json:"app"`
+	Field    string    `json:"field"`
+	EB       float64   `json:"eb"`
+	Feats    []float64 `json:"features"`
+	Ratio    float64   `json:"ratio"`        // raw bytes / compressed bytes
+	SecPerMP float64   `json:"secPerMegapt"` // compression seconds per 1e6 points
+	PSNR     float64   `json:"psnr"`         // dB; capped for perfect recon
+	Points   int       `json:"points"`
+}
+
+// CollectOptions configures ground-truth collection.
+type CollectOptions struct {
+	// ErrorBounds to sweep; nil selects DefaultErrorBounds.
+	ErrorBounds []float64
+	// Predictor for the compression pipeline; 0 selects interp.
+	Predictor sz.Predictor
+	// SampleStride for feature extraction; ≤ 0 selects 100.
+	SampleStride int
+	// WithPSNR also decompresses to measure distortion (2× slower).
+	WithPSNR bool
+	// Now allows tests to inject a clock; nil uses time.Now.
+	Now func() time.Time
+}
+
+// psnrCap replaces +Inf PSNR (perfect reconstruction) so the tree can
+// regress on finite targets.
+const psnrCap = 200.0
+
+// Collect compresses every field at every error bound and returns the
+// feature/ground-truth samples.
+func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("quality: no fields")
+	}
+	ebs := opts.ErrorBounds
+	if ebs == nil {
+		ebs = DefaultErrorBounds()
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	samples := make([]Sample, 0, len(fields)*len(ebs))
+	for _, f := range fields {
+		// The paper applies value-range-relative bounds per field so that a
+		// "1e-3" setting is comparable across fields with wildly different
+		// scales; we do the same by resolving to an absolute bound here.
+		rng := metrics.ComputeRange(f.Data).Range
+		if rng <= 0 {
+			rng = 1
+		}
+		stride := opts.SampleStride
+		if stride <= 0 {
+			// Adaptive default: the paper's 1-in-100 sampling assumes
+			// multi-megapoint files; small (test-scale) fields need a denser
+			// stride so the compressor features stay statistically sound.
+			stride = f.NumPoints() / 2000
+			if stride < 1 {
+				stride = 1
+			}
+			if stride > 100 {
+				stride = 100
+			}
+		}
+		for _, eb := range ebs {
+			cfg := sz.DefaultConfig(eb * rng)
+			if opts.Predictor != 0 {
+				cfg.Predictor = opts.Predictor
+			}
+			fv, err := features.Extract(f.Data, f.Dims, cfg, features.Options{
+				SampleStride: stride,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("quality: extract %s eb=%g: %w", f.ID(), eb, err)
+			}
+			// Keep the config feature on the *relative* scale so fields of
+			// different magnitude share a feature space.
+			vec := fv.Slice()
+			vec[0] = math.Log10(eb)
+
+			start := now()
+			stream, _, err := sz.Compress(f.Data, f.Dims, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("quality: compress %s eb=%g: %w", f.ID(), eb, err)
+			}
+			elapsed := now().Sub(start).Seconds()
+			s := Sample{
+				App:      f.App,
+				Field:    f.Name,
+				EB:       eb,
+				Feats:    vec,
+				Ratio:    metrics.CompressionRatio(f.RawBytes(), len(stream)),
+				SecPerMP: elapsed / (float64(f.NumPoints()) / 1e6),
+				Points:   f.NumPoints(),
+			}
+			if opts.WithPSNR {
+				recon, _, err := sz.Decompress(stream)
+				if err != nil {
+					return nil, fmt.Errorf("quality: decompress %s: %w", f.ID(), err)
+				}
+				p, err := metrics.PSNR(f.Data, recon)
+				if err != nil {
+					return nil, err
+				}
+				if math.IsInf(p, 1) || p > psnrCap {
+					p = psnrCap
+				}
+				s.PSNR = p
+			}
+			samples = append(samples, s)
+		}
+	}
+	return samples, nil
+}
+
+// Model bundles the three regressors of the paper's predictor.
+type Model struct {
+	Ratio *dtree.Tree `json:"ratio"`
+	Time  *dtree.Tree `json:"time"`
+	PSNR  *dtree.Tree `json:"psnr,omitempty"`
+}
+
+// Train fits the model on samples. PSNR training is skipped when the
+// samples carry no PSNR ground truth.
+func Train(samples []Sample, params dtree.Params) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("quality: no samples")
+	}
+	x := make([][]float64, len(samples))
+	ratio := make([]float64, len(samples))
+	tsec := make([]float64, len(samples))
+	psnr := make([]float64, len(samples))
+	hasPSNR := false
+	for i, s := range samples {
+		x[i] = s.Feats
+		// Regress log2(ratio): ratios span orders of magnitude and the
+		// paper's error metric is multiplicative in spirit.
+		ratio[i] = math.Log2(math.Max(s.Ratio, 1e-6))
+		tsec[i] = s.SecPerMP
+		psnr[i] = s.PSNR
+		if s.PSNR != 0 {
+			hasPSNR = true
+		}
+	}
+	m := &Model{}
+	var err error
+	if m.Ratio, err = dtree.Train(x, ratio, params); err != nil {
+		return nil, fmt.Errorf("quality: ratio model: %w", err)
+	}
+	if m.Time, err = dtree.Train(x, tsec, params); err != nil {
+		return nil, fmt.Errorf("quality: time model: %w", err)
+	}
+	if hasPSNR {
+		if m.PSNR, err = dtree.Train(x, psnr, params); err != nil {
+			return nil, fmt.Errorf("quality: psnr model: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Estimate is a predicted compression outcome.
+type Estimate struct {
+	Ratio   float64 `json:"ratio"`
+	Seconds float64 `json:"seconds"` // predicted compression wall time
+	PSNR    float64 `json:"psnr"`    // 0 when the model has no PSNR tree
+}
+
+// EstimateFromFeatures predicts quality for a prepared feature vector and
+// point count.
+func (m *Model) EstimateFromFeatures(fv []float64, numPoints int) (*Estimate, error) {
+	logR, err := m.Ratio.Predict(fv)
+	if err != nil {
+		return nil, err
+	}
+	secPerMP, err := m.Time.Predict(fv)
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimate{
+		Ratio:   math.Pow(2, logR),
+		Seconds: secPerMP * float64(numPoints) / 1e6,
+	}
+	if m.PSNR != nil {
+		if est.PSNR, err = m.PSNR.Predict(fv); err != nil {
+			return nil, err
+		}
+	}
+	return est, nil
+}
+
+// EstimateField extracts features from data (cheap sampling pass) and
+// predicts the quality of compressing it with the given relative error
+// bound. relEB is interpreted against the field's value range, matching the
+// training convention.
+func (m *Model) EstimateField(data []float64, dims []int, relEB float64, pred sz.Predictor) (*Estimate, error) {
+	rng := metrics.ComputeRange(data).Range
+	if rng <= 0 {
+		rng = 1
+	}
+	cfg := sz.DefaultConfig(relEB * rng)
+	if pred != 0 {
+		cfg.Predictor = pred
+	}
+	stride := len(data) / 2000
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > 100 {
+		stride = 100
+	}
+	fv, err := features.Extract(data, dims, cfg, features.Options{SampleStride: stride})
+	if err != nil {
+		return nil, err
+	}
+	vec := fv.Slice()
+	vec[0] = math.Log10(relEB)
+	return m.EstimateFromFeatures(vec, len(data))
+}
+
+// SplitTrainTest partitions samples with the given training fraction.
+// Shuffling is deterministic in seed.
+func SplitTrainTest(samples []Sample, trainFrac float64, seed int64) (train, test []Sample) {
+	idx := rand.New(rand.NewSource(seed)).Perm(len(samples))
+	nTrain := int(float64(len(samples)) * trainFrac)
+	if nTrain < 1 && len(samples) > 0 {
+		nTrain = 1
+	}
+	for i, j := range idx {
+		if i < nTrain {
+			train = append(train, samples[j])
+		} else {
+			test = append(test, samples[j])
+		}
+	}
+	return train, test
+}
+
+// EvalResult summarizes prediction errors on a held-out set.
+type EvalResult struct {
+	RatioDiffs []float64 // predicted − real compression ratio
+	TimeDiffs  []float64 // predicted − real seconds
+	PSNRDiffs  []float64 // predicted − real dB
+	PSNRRMSE   float64
+}
+
+// Evaluate scores the model against held-out samples.
+func (m *Model) Evaluate(test []Sample) (*EvalResult, error) {
+	if len(test) == 0 {
+		return nil, errors.New("quality: empty test set")
+	}
+	res := &EvalResult{}
+	var psnrSSE float64
+	nPSNR := 0
+	for _, s := range test {
+		est, err := m.EstimateFromFeatures(s.Feats, s.Points)
+		if err != nil {
+			return nil, err
+		}
+		res.RatioDiffs = append(res.RatioDiffs, est.Ratio-s.Ratio)
+		realSec := s.SecPerMP * float64(s.Points) / 1e6
+		res.TimeDiffs = append(res.TimeDiffs, est.Seconds-realSec)
+		if m.PSNR != nil && s.PSNR != 0 {
+			d := est.PSNR - s.PSNR
+			res.PSNRDiffs = append(res.PSNRDiffs, d)
+			psnrSSE += d * d
+			nPSNR++
+		}
+	}
+	if nPSNR > 0 {
+		res.PSNRRMSE = math.Sqrt(psnrSSE / float64(nPSNR))
+	}
+	return res, nil
+}
+
+// ConfidenceInterval returns the central-fraction interval of diffs, e.g.
+// frac = 0.8 gives the paper's Fig 12 80% box.
+func ConfidenceInterval(diffs []float64, frac float64) (lo, hi float64) {
+	if len(diffs) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(diffs))
+	copy(sorted, diffs)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	edge := (1 - frac) / 2
+	loIdx := int(edge * float64(len(sorted)))
+	hiIdx := int((1 - edge) * float64(len(sorted)))
+	if hiIdx >= len(sorted) {
+		hiIdx = len(sorted) - 1
+	}
+	return sorted[loIdx], sorted[hiIdx]
+}
+
+// MarshalJSON / UnmarshalJSON provide model persistence.
+
+// Save serializes the model to JSON.
+func (m *Model) Save() ([]byte, error) { return json.Marshal(m) }
+
+// Load deserializes a model saved with Save.
+func Load(blob []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, err
+	}
+	if m.Ratio == nil || m.Time == nil {
+		return nil, errors.New("quality: incomplete model")
+	}
+	return &m, nil
+}

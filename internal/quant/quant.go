@@ -1,0 +1,82 @@
+// Package quant implements the linear-scale quantizer used by
+// prediction-based error-bounded lossy compressors (SZ2/SZ3 style).
+//
+// Given a prediction for a data point, the difference between the true value
+// and the prediction is mapped to an integer bin of width 2×eb. Recovering
+// the value as prediction + bin×2×eb guarantees |recovered − original| ≤ eb.
+// Differences that fall outside the bin range escape to a literal (code 0).
+package quant
+
+import "math"
+
+// EscapeCode marks a value that could not be quantized within the bin range;
+// such values are stored verbatim as literals.
+const EscapeCode = 0
+
+// DefaultRadius gives a 16-bit bin alphabet matching SZ's default capacity.
+const DefaultRadius = 32768
+
+// Quantizer maps prediction residuals to integer codes under an absolute
+// error bound. The zero-residual bin is at code == Radius; code 0 is the
+// literal escape. The total alphabet size is 2×Radius.
+type Quantizer struct {
+	eb     float64
+	radius int
+}
+
+// New returns a Quantizer with the given absolute error bound and radius.
+// radius ≤ 0 selects DefaultRadius.
+func New(eb float64, radius int) *Quantizer {
+	if radius <= 0 {
+		radius = DefaultRadius
+	}
+	return &Quantizer{eb: eb, radius: radius}
+}
+
+// ErrorBound returns the absolute error bound.
+func (q *Quantizer) ErrorBound() float64 { return q.eb }
+
+// Radius returns the quantizer radius (alphabet size is 2×Radius).
+func (q *Quantizer) Radius() int { return q.radius }
+
+// AlphabetSize returns the number of distinct codes including the escape.
+func (q *Quantizer) AlphabetSize() int { return 2 * q.radius }
+
+// ZeroCode returns the code of the zero-residual bin.
+func (q *Quantizer) ZeroCode() int { return q.radius }
+
+// Quantize maps (value, prediction) to a code and the value recovered from
+// that code. ok is false when the residual cannot be represented within the
+// error bound, in which case the caller must store the value as a literal
+// and use the original value as the reconstruction.
+func (q *Quantizer) Quantize(value, pred float64) (code int, recovered float64, ok bool) {
+	diff := value - pred
+	if math.IsNaN(diff) || math.IsInf(diff, 0) {
+		return EscapeCode, value, false
+	}
+	// Round to nearest bin of width 2eb.
+	d := diff / (2 * q.eb)
+	if d >= float64(q.radius) || d <= -float64(q.radius) {
+		return EscapeCode, value, false
+	}
+	bin := int(math.Round(d))
+	if bin >= q.radius || bin <= -q.radius {
+		return EscapeCode, value, false
+	}
+	rec := pred + float64(bin)*2*q.eb
+	// Floating-point rounding can push the recovered value past the bound;
+	// escape in that (rare) case to preserve the guarantee.
+	if math.Abs(rec-value) > q.eb {
+		return EscapeCode, value, false
+	}
+	code = bin + q.radius
+	if code == EscapeCode {
+		return EscapeCode, value, false
+	}
+	return code, rec, true
+}
+
+// Recover reconstructs a value from a prediction and a non-escape code.
+func (q *Quantizer) Recover(pred float64, code int) float64 {
+	return pred + float64(code-q.radius)*2*q.eb
+}

@@ -1,0 +1,159 @@
+package sentinel
+
+import (
+	"testing"
+
+	"ocelot/internal/cluster"
+	"ocelot/internal/sim"
+	"ocelot/internal/wan"
+)
+
+func testReq(n int, fileMB int64) *Request {
+	machines := cluster.Standard()
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = fileMB * 1e6
+	}
+	return &Request{
+		RawSizes: sizes,
+		Ratio:    8,
+		Nodes:    16,
+		Source:   machines["Anvil"],
+		Dest:     machines["Cori"],
+		Link:     wan.StandardLinks()["Anvil->Cori"],
+		Seed:     1,
+	}
+}
+
+func TestImmediateNodes(t *testing.T) {
+	clock := sim.NewClock()
+	sched := cluster.NewScheduler(clock, cluster.Standard()["Anvil"])
+	req := testReq(512, 150)
+	res, err := Run(clock, sched, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeWaitSeconds != 0 {
+		t.Errorf("wait = %v, want 0 (Anvil grants immediately)", res.NodeWaitSeconds)
+	}
+	// With instant nodes at most a handful of raw files slip through.
+	if res.RawFilesSent > req.Link.Concurrency {
+		t.Errorf("raw files sent = %d, want ≤ concurrency", res.RawFilesSent)
+	}
+	if res.CompressedFiles+res.RawFilesSent != len(req.RawSizes) {
+		t.Errorf("file conservation: %d + %d != %d",
+			res.CompressedFiles, res.RawFilesSent, len(req.RawSizes))
+	}
+	if res.WorstCase {
+		t.Error("not a worst case")
+	}
+	if res.TotalSeconds <= 0 {
+		t.Error("total time must be positive")
+	}
+}
+
+func TestDelayedNodes(t *testing.T) {
+	clock := sim.NewClock()
+	sched := cluster.NewScheduler(clock, cluster.Standard()["Bebop"])
+	sched.SetWaitModel(3, 30, 0, 0) // ~30s queue delay
+	req := testReq(512, 150)
+	res, err := Run(clock, sched, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeWaitSeconds <= 0 {
+		t.Fatalf("expected a node wait, got %v", res.NodeWaitSeconds)
+	}
+	if res.RawFilesSent == 0 {
+		t.Error("transfer should progress during the wait")
+	}
+	if res.CompressedFiles+res.RawFilesSent != len(req.RawSizes) {
+		t.Error("file conservation violated")
+	}
+}
+
+func TestWorstCaseNeverGranted(t *testing.T) {
+	clock := sim.NewClock()
+	machines := cluster.Standard()
+	// Scheduler with zero free nodes that never releases.
+	sched := cluster.NewScheduler(clock, machines["Bebop"])
+	// Occupy everything first.
+	if err := sched.Request(machines["Bebop"].Nodes, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	req := testReq(64, 100)
+	req.Source = machines["Bebop"]
+	res, err := Run(clock, sched, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WorstCase {
+		t.Fatal("want worst case: all raw")
+	}
+	if res.RawFilesSent != len(req.RawSizes) {
+		t.Fatalf("raw sent %d != %d", res.RawFilesSent, len(req.RawSizes))
+	}
+	if res.CompressedFiles != 0 {
+		t.Fatalf("compressed = %d", res.CompressedFiles)
+	}
+}
+
+// The headline property: with immediate nodes, the sentinel path must beat
+// the uncompressed-only transfer for compressible many-file datasets.
+func TestBeatsDirect(t *testing.T) {
+	req := testReq(768, 150) // Miranda-like
+	direct, err := req.Link.Estimate(req.RawSizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := sim.NewClock()
+	sched := cluster.NewScheduler(clock, cluster.Standard()["Anvil"])
+	res, err := Run(clock, sched, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds >= direct.Seconds {
+		t.Fatalf("sentinel %.1fs should beat direct %.1fs", res.TotalSeconds, direct.Seconds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	clock := sim.NewClock()
+	sched := cluster.NewScheduler(clock, cluster.Standard()["Anvil"])
+	bad := testReq(4, 1)
+	bad.RawSizes = nil
+	if _, err := Run(clock, sched, bad); err == nil {
+		t.Error("no files must error")
+	}
+	bad = testReq(4, 1)
+	bad.Ratio = 0
+	if _, err := Run(clock, sched, bad); err == nil {
+		t.Error("zero ratio must error")
+	}
+	bad = testReq(4, 1)
+	bad.Nodes = 0
+	if _, err := Run(clock, sched, bad); err == nil {
+		t.Error("zero nodes must error")
+	}
+	bad = testReq(4, 1)
+	bad.Link = &wan.Link{}
+	if _, err := Run(clock, sched, bad); err == nil {
+		t.Error("invalid link must error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		clock := sim.NewClock()
+		sched := cluster.NewScheduler(clock, cluster.Standard()["Bebop"])
+		sched.SetWaitModel(5, 45, 0.2, 300)
+		res, err := Run(clock, sched, testReq(256, 120))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalSeconds
+	}
+	if run() != run() {
+		t.Fatal("sentinel run not deterministic")
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.After(3, func() { order = append(order, 3) })
+	c.After(1, func() { order = append(order, 1) })
+	c.After(2, func() { order = append(order, 2) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("final time = %v", c.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.After(1, func() { order = append(order, i) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var times []float64
+	c.After(1, func() {
+		times = append(times, c.Now())
+		c.After(2, func() {
+			times = append(times, c.Now())
+		})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	c := NewClock()
+	c.After(5, func() {
+		if err := c.At(1, func() {}); err == nil {
+			t.Error("want error scheduling in the past")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	c := NewClock()
+	ran := false
+	c.After(-10, func() { ran = true })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || c.Now() != 0 {
+		t.Fatalf("ran=%v now=%v", ran, c.Now())
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	c := NewClock()
+	c.budget = 100
+	var loop func()
+	loop = func() { c.After(1, loop) }
+	loop()
+	if err := c.Run(); err == nil {
+		t.Fatal("want budget error")
+	}
+}
+
+func TestPending(t *testing.T) {
+	c := NewClock()
+	if c.Pending() != 0 {
+		t.Fatal("fresh clock has pending events")
+	}
+	c.After(1, func() {})
+	c.After(2, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}

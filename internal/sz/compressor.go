@@ -1,0 +1,315 @@
+package sz
+
+import (
+	"fmt"
+	"math"
+
+	"ocelot/internal/huffman"
+	"ocelot/internal/lossless"
+	"ocelot/internal/quant"
+)
+
+// Stats reports measurable properties of a compression run. They feed the
+// compressor-based features of the quality predictor (paper Section VI).
+type Stats struct {
+	// NumPoints is the number of data values compressed.
+	NumPoints int
+	// CompressedBytes is the size of the final stream.
+	CompressedBytes int
+	// NumEscapes counts values stored as literals (unpredictable points).
+	NumEscapes int
+	// P0Quant is the fraction of quantization codes equal to the zero bin
+	// (the paper's p0 feature).
+	P0Quant float64
+	// HuffP0 is the share of the Huffman payload bits spent on the zero bin
+	// (the paper's P0 feature).
+	HuffP0 float64
+	// QuantEntropy is the Shannon entropy (bits/symbol) of the quantization
+	// codes (the paper's quantization-entropy feature).
+	QuantEntropy float64
+	// HuffmanBits is the size of the Huffman payload before the lossless
+	// backend.
+	HuffmanBits int
+}
+
+// codec drives one predictor traversal. The same traversal code runs during
+// compression (data != nil: quantize and record codes/literals) and during
+// decompression (data == nil: consume codes/literals to rebuild recon).
+type codec struct {
+	q        *quant.Quantizer
+	data     []float64 // original values; nil in decode mode
+	recon    []float64
+	codes    []int
+	literals []float64
+	coeffs   []float64
+	codeIdx  int
+	litIdx   int
+	coefIdx  int
+}
+
+// process handles one point: index i with prediction pred.
+func (c *codec) process(i int, pred float64) {
+	if c.data != nil {
+		code, rec, ok := c.q.Quantize(c.data[i], pred)
+		if !ok {
+			c.codes = append(c.codes, quant.EscapeCode)
+			c.literals = append(c.literals, c.data[i])
+			c.recon[i] = c.data[i]
+			return
+		}
+		c.codes = append(c.codes, code)
+		c.recon[i] = rec
+		return
+	}
+	code := c.codes[c.codeIdx]
+	c.codeIdx++
+	if code == quant.EscapeCode {
+		c.recon[i] = c.literals[c.litIdx]
+		c.litIdx++
+		return
+	}
+	c.recon[i] = c.q.Recover(pred, code)
+}
+
+// pushCoeffs records regression coefficients during compression (rounded to
+// float32 so encode and decode predict identically).
+func (c *codec) pushCoeffs(coefs []float64) []float64 {
+	out := make([]float64, len(coefs))
+	for i, v := range coefs {
+		out[i] = float64(float32(v))
+		c.coeffs = append(c.coeffs, out[i])
+	}
+	return out
+}
+
+// nextCoeffs consumes coefficients during decompression.
+func (c *codec) nextCoeffs(n int) ([]float64, error) {
+	if c.coefIdx+n > len(c.coeffs) {
+		return nil, ErrCorrupt
+	}
+	out := c.coeffs[c.coefIdx : c.coefIdx+n]
+	c.coefIdx += n
+	return out, nil
+}
+
+// Compress encodes data (row-major, dims[0] slowest) under cfg and returns
+// the stream plus run statistics.
+func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := validateDims(len(data), dims); err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("sz: empty input")
+	}
+	absEB := cfg.ErrorBound
+	if cfg.BoundMode == BoundRelative {
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		rng := hi - lo
+		if rng <= 0 || math.IsNaN(rng) || math.IsInf(rng, 0) {
+			rng = 1
+		}
+		absEB = cfg.ErrorBound * rng
+	}
+	q := quant.New(absEB, cfg.Radius)
+	c := &codec{
+		q:     q,
+		data:  data,
+		recon: make([]float64, len(data)),
+		codes: make([]int, 0, len(data)),
+	}
+	if err := runPredictor(c, dims, cfg); err != nil {
+		return nil, nil, err
+	}
+
+	huffBytes, huffStats, err := encodeCodes(c.codes, q.AlphabetSize())
+	if err != nil {
+		return nil, nil, err
+	}
+	inner := &innerPayload{literals: c.literals, coeffs: c.coeffs, huffman: huffBytes}
+	body, err := lossless.Compress(inner.marshal(), cfg.Backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := &header{
+		predictor: cfg.Predictor,
+		interp:    cfg.Interp,
+		boundMode: cfg.BoundMode,
+		radius:    q.Radius(),
+		absEB:     absEB,
+		dims:      dims,
+	}
+	stream := append(h.marshal(), body...)
+
+	st := &Stats{
+		NumPoints:       len(data),
+		CompressedBytes: len(stream),
+		NumEscapes:      len(c.literals),
+		P0Quant:         huffStats.p0,
+		HuffP0:          huffStats.bitShare0,
+		QuantEntropy:    huffStats.entropy,
+		HuffmanBits:     huffStats.totalBits,
+	}
+	return stream, st, nil
+}
+
+// Decompress decodes a stream produced by Compress, returning the
+// reconstructed values and their shape.
+func Decompress(stream []byte) ([]float64, []int, error) {
+	h, body, err := parseHeader(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	innerBytes, err := lossless.Decompress(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: body: %w", err)
+	}
+	inner, err := parseInnerPayload(innerBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes, err := huffman.Decode(inner.huffman)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: codes: %w", err)
+	}
+	n := 1
+	for _, d := range h.dims {
+		n *= d
+	}
+	if len(codes) != n {
+		return nil, nil, fmt.Errorf("sz: code count %d != points %d: %w", len(codes), n, ErrCorrupt)
+	}
+	c := &codec{
+		q:        quant.New(h.absEB, h.radius),
+		recon:    make([]float64, n),
+		codes:    codes,
+		literals: inner.literals,
+		coeffs:   inner.coeffs,
+	}
+	cfg := Config{
+		ErrorBound: h.absEB,
+		BoundMode:  BoundAbsolute,
+		Predictor:  h.predictor,
+		Interp:     h.interp,
+		Radius:     h.radius,
+		BlockSide:  6,
+	}
+	if err := runPredictor(c, h.dims, cfg); err != nil {
+		return nil, nil, err
+	}
+	if c.litIdx != len(c.literals) {
+		return nil, nil, fmt.Errorf("sz: %d literals unconsumed: %w", len(c.literals)-c.litIdx, ErrCorrupt)
+	}
+	dims := make([]int, len(h.dims))
+	copy(dims, h.dims)
+	return c.recon, dims, nil
+}
+
+// runPredictor dispatches the traversal for the configured predictor.
+func runPredictor(c *codec, dims []int, cfg Config) error {
+	switch cfg.Predictor {
+	case PredictorLorenzo:
+		lorenzoTraverse(c, dims)
+		return nil
+	case PredictorInterp:
+		interpTraverse(c, dims, cfg.Interp)
+		return nil
+	case PredictorRegression:
+		return regressionTraverse(c, dims, cfg.BlockSide)
+	default:
+		return fmt.Errorf("sz: invalid predictor %v", cfg.Predictor)
+	}
+}
+
+type huffRunStats struct {
+	p0        float64
+	bitShare0 float64
+	entropy   float64
+	totalBits int
+}
+
+// encodeCodes Huffman-encodes the quantization bins and derives the
+// compressor-level features of the run.
+func encodeCodes(codes []int, alphabet int) ([]byte, huffRunStats, error) {
+	var st huffRunStats
+	freqs := make([]uint64, alphabet)
+	for _, s := range codes {
+		freqs[s]++
+	}
+	zero := alphabet / 2 // quantizer zero bin
+	if len(codes) > 0 {
+		st.p0 = float64(freqs[zero]) / float64(len(codes))
+		st.entropy = symbolEntropy(freqs, len(codes))
+	}
+	if len(codes) == 0 {
+		freqs[0] = 1
+	}
+	table, err := huffman.BuildTable(freqs)
+	if err != nil {
+		return nil, st, err
+	}
+	totalBits := 0
+	for sym, f := range freqs {
+		if f > 0 {
+			c := table.CodeFor(sym)
+			totalBits += int(f) * int(c.Len)
+		}
+	}
+	if len(codes) == 0 {
+		totalBits = 0
+	}
+	st.totalBits = totalBits
+	if totalBits > 0 {
+		st.bitShare0 = float64(uint64(table.CodeFor(zero).Len)*freqs[zero]) / float64(totalBits)
+	}
+	enc, err := huffman.Encode(codes, table)
+	if err != nil {
+		return nil, st, err
+	}
+	return enc, st, nil
+}
+
+// symbolEntropy computes Shannon entropy in bits/symbol from frequencies.
+func symbolEntropy(freqs []uint64, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	ft := float64(total)
+	for _, f := range freqs {
+		if f == 0 {
+			continue
+		}
+		p := float64(f) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// MaxAbsError returns the largest absolute difference between two equally
+// sized slices. It is the invariant checked by the error-bound tests.
+func MaxAbsError(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var m float64
+	for i := 0; i < n; i++ {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

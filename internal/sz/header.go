@@ -1,0 +1,172 @@
+package sz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// streamMagic identifies an Ocelot-SZ compressed stream.
+const streamMagic = 0x4F43535A // "OCSZ"
+
+// streamVersion is bumped on incompatible layout changes.
+const streamVersion = 1
+
+// ErrCorrupt indicates a malformed compressed stream.
+var ErrCorrupt = errors.New("sz: corrupt stream")
+
+// header is the fixed, uncompressed prefix of every stream. It carries
+// everything needed to re-run the predictor traversal on decompression.
+type header struct {
+	predictor Predictor
+	interp    InterpMode
+	boundMode BoundMode
+	radius    int
+	absEB     float64 // resolved absolute error bound
+	dims      []int
+}
+
+func (h *header) marshal() []byte {
+	out := make([]byte, 0, 32+8*len(h.dims))
+	var b4 [4]byte
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b4[:], streamMagic)
+	out = append(out, b4[:]...)
+	out = append(out, streamVersion, byte(h.predictor), byte(h.interp), byte(h.boundMode))
+	binary.LittleEndian.PutUint32(b4[:], uint32(h.radius))
+	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(h.absEB))
+	out = append(out, b8[:]...)
+	out = append(out, byte(len(h.dims)))
+	for _, d := range h.dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		out = append(out, b8[:]...)
+	}
+	return out
+}
+
+func parseHeader(stream []byte) (*header, []byte, error) {
+	if len(stream) < 21 {
+		return nil, nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(stream[:4]) != streamMagic {
+		return nil, nil, fmt.Errorf("sz: bad magic: %w", ErrCorrupt)
+	}
+	if stream[4] != streamVersion {
+		return nil, nil, fmt.Errorf("sz: unsupported version %d: %w", stream[4], ErrCorrupt)
+	}
+	h := &header{
+		predictor: Predictor(stream[5]),
+		interp:    InterpMode(stream[6]),
+		boundMode: BoundMode(stream[7]),
+		radius:    int(binary.LittleEndian.Uint32(stream[8:12])),
+		absEB:     math.Float64frombits(binary.LittleEndian.Uint64(stream[12:20])),
+	}
+	nd := int(stream[20])
+	if nd == 0 || nd > 4 {
+		return nil, nil, ErrCorrupt
+	}
+	need := 21 + 8*nd
+	if len(stream) < need {
+		return nil, nil, ErrCorrupt
+	}
+	h.dims = make([]int, nd)
+	total := 1
+	for i := 0; i < nd; i++ {
+		d := binary.LittleEndian.Uint64(stream[21+8*i : 29+8*i])
+		if d == 0 || d > 1<<32 {
+			return nil, nil, ErrCorrupt
+		}
+		h.dims[i] = int(d)
+		total *= int(d)
+		if total > 1<<40 {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	if h.absEB <= 0 || math.IsNaN(h.absEB) || math.IsInf(h.absEB, 0) {
+		return nil, nil, ErrCorrupt
+	}
+	if h.radius <= 0 || h.radius > 1<<23 {
+		return nil, nil, ErrCorrupt
+	}
+	switch h.predictor {
+	case PredictorLorenzo, PredictorInterp, PredictorRegression:
+	default:
+		return nil, nil, ErrCorrupt
+	}
+	return h, stream[need:], nil
+}
+
+// innerPayload is the lossless-compressed body: literals, regression
+// coefficients, and the Huffman-coded quantization bins.
+type innerPayload struct {
+	literals []float64
+	coeffs   []float64 // stored with float32 precision
+	huffman  []byte
+}
+
+func (p *innerPayload) marshal() []byte {
+	out := make([]byte, 0, 24+8*len(p.literals)+4*len(p.coeffs)+len(p.huffman))
+	var b8 [8]byte
+	var b4 [4]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(p.literals)))
+	out = append(out, b8[:]...)
+	for _, v := range p.literals {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		out = append(out, b8[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(p.coeffs)))
+	out = append(out, b8[:]...)
+	for _, v := range p.coeffs {
+		binary.LittleEndian.PutUint32(b4[:], math.Float32bits(float32(v)))
+		out = append(out, b4[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(p.huffman)))
+	out = append(out, b8[:]...)
+	out = append(out, p.huffman...)
+	return out
+}
+
+func parseInnerPayload(body []byte) (*innerPayload, error) {
+	p := &innerPayload{}
+	off := 0
+	readU64 := func() (uint64, bool) {
+		if off+8 > len(body) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(body[off : off+8])
+		off += 8
+		return v, true
+	}
+	nLit, ok := readU64()
+	if !ok || nLit > 1<<36 {
+		return nil, ErrCorrupt
+	}
+	if off+int(nLit)*8 > len(body) {
+		return nil, ErrCorrupt
+	}
+	p.literals = make([]float64, nLit)
+	for i := range p.literals {
+		p.literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[off : off+8]))
+		off += 8
+	}
+	nCoef, ok := readU64()
+	if !ok || nCoef > 1<<36 {
+		return nil, ErrCorrupt
+	}
+	if off+int(nCoef)*4 > len(body) {
+		return nil, ErrCorrupt
+	}
+	p.coeffs = make([]float64, nCoef)
+	for i := range p.coeffs {
+		p.coeffs[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[off : off+4])))
+		off += 4
+	}
+	nHuff, ok := readU64()
+	if !ok || off+int(nHuff) > len(body) {
+		return nil, ErrCorrupt
+	}
+	p.huffman = body[off : off+int(nHuff)]
+	return p, nil
+}

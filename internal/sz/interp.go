@@ -1,0 +1,125 @@
+package sz
+
+// interpTraverse implements the SZ3-interp multilevel traversal. Values on a
+// coarse lattice are refined level by level: at each level with spacing
+// `stride`, the midpoints (odd multiples of stride/2) along each axis are
+// predicted by 1-D interpolation from already-reconstructed lattice
+// neighbors at distance stride/2.
+//
+// The traversal visits every point exactly once: a point whose minimum
+// 2-adic valuation across coordinates is v is processed at level h = 2^v on
+// the last axis whose coordinate has valuation v. The same deterministic
+// order runs during compression and decompression.
+func interpTraverse(c *codec, dims []int, mode InterpMode) {
+	nd := len(dims)
+	strides := rowMajorStrides(dims)
+	maxDim := 0
+	for _, d := range dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	// Seed: the origin predicted as 0.
+	c.process(0, 0)
+	if maxDim == 1 {
+		// Degenerate: handle remaining points (other dims may exceed 1 only
+		// if maxDim > 1, so nothing remains).
+		return
+	}
+	top := 1
+	for top < maxDim {
+		top <<= 1
+	}
+	for stride := top; stride >= 2; stride >>= 1 {
+		h := stride / 2
+		for d := 0; d < nd; d++ {
+			interpAxis(c, dims, strides, d, stride, h, mode)
+		}
+	}
+}
+
+// interpAxis predicts all points p with p[d] ≡ h (mod stride), p[a<d] ≡ 0
+// (mod h), p[a>d] ≡ 0 (mod stride).
+func interpAxis(c *codec, dims, strides []int, d, stride, h int, mode InterpMode) {
+	nd := len(dims)
+	// Step sizes per axis for the odometer.
+	steps := make([]int, nd)
+	for a := 0; a < nd; a++ {
+		switch {
+		case a < d:
+			steps[a] = h
+		case a == d:
+			steps[a] = stride
+		default:
+			steps[a] = stride
+		}
+	}
+	coords := make([]int, nd)
+	coords[d] = h
+	if coords[d] >= dims[d] {
+		return
+	}
+	axisStride := strides[d]
+	for {
+		// Compute flat index.
+		idx := 0
+		for a := 0; a < nd; a++ {
+			idx += coords[a] * strides[a]
+		}
+		pred := interpPredict(c.recon, coords[d], dims[d], axisStride, idx, h, mode)
+		c.process(idx, pred)
+		// Odometer advance: axis d fastest (cache-friendlier along lines),
+		// then later axes, then earlier axes.
+		if !advanceInterp(coords, dims, steps, d) {
+			return
+		}
+	}
+}
+
+// advanceInterp increments the interp odometer. Axis d starts at h and
+// steps by its step; all other axes start at 0. Returns false when the
+// enumeration is complete.
+func advanceInterp(coords, dims, steps []int, d int) bool {
+	nd := len(dims)
+	// Order of advancement: d first, then nd-1..0 skipping d.
+	if coords[d]+steps[d] < dims[d] {
+		coords[d] += steps[d]
+		return true
+	}
+	coords[d] = steps[d] / 2 // reset to h
+	for a := nd - 1; a >= 0; a-- {
+		if a == d {
+			continue
+		}
+		coords[a] += steps[a]
+		if coords[a] < dims[a] {
+			return true
+		}
+		coords[a] = 0
+	}
+	return false
+}
+
+// interpPredict computes the 1-D interpolation prediction for position x
+// along an axis with the given element stride. idx is the flat index of the
+// point; neighbors at ±h, ±3h along the axis are addressed relative to it.
+func interpPredict(recon []float64, x, dimLen, axisStride, idx, h int, mode InterpMode) float64 {
+	left := recon[idx-h*axisStride]
+	hasRight := x+h < dimLen
+	if !hasRight {
+		// Boundary: fall back to the nearest known value.
+		return left
+	}
+	right := recon[idx+h*axisStride]
+	if mode == InterpCubic {
+		hasL3 := x-3*h >= 0
+		hasR3 := x+3*h < dimLen
+		if hasL3 && hasR3 {
+			l3 := recon[idx-3*h*axisStride]
+			r3 := recon[idx+3*h*axisStride]
+			// 4-point cubic midpoint formula (-1/16, 9/16, 9/16, -1/16).
+			return (-l3 + 9*left + 9*right - r3) / 16
+		}
+	}
+	return (left + right) / 2
+}

@@ -1,0 +1,128 @@
+package sz
+
+import (
+	"fmt"
+
+	"ocelot/internal/quant"
+)
+
+// SampledCodes runs the cheap feature-extraction pass of the quality
+// predictor (paper Section VI / Fig 13): every sampleStride-th point is
+// quantized against a Lorenzo prediction computed from the *original* data
+// values (not reconstructed values), exactly as the paper describes for its
+// p0/P0 estimation. No encoding is performed.
+//
+// The returned codes use the same alphabet as a real compression run with
+// cfg, so downstream feature extraction (p0, P0, quantization entropy,
+// run-length estimator) matches the full-compression statistics closely.
+func SampledCodes(data []float64, dims []int, cfg Config, sampleStride int) ([]int, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDims(len(data), dims); err != nil {
+		return nil, err
+	}
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	absEB := cfg.ErrorBound
+	if cfg.BoundMode == BoundRelative {
+		lo, hi := data[0], data[0]
+		for _, v := range data {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			absEB = cfg.ErrorBound * (hi - lo)
+		}
+	}
+	q := quant.New(absEB, cfg.Radius)
+	codes := make([]int, 0, len(data)/sampleStride+1)
+	strides := rowMajorStrides(dims)
+	nd := len(dims)
+	coords := make([]int, nd)
+	for idx := 0; idx < len(data); idx += sampleStride {
+		flatToCoords(idx, dims, coords)
+		pred := lorenzoOriginal(data, strides, coords, nd, idx)
+		code, _, ok := q.Quantize(data[idx], pred)
+		if !ok {
+			code = quant.EscapeCode
+		}
+		codes = append(codes, code)
+	}
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("sz: sampling produced no points")
+	}
+	return codes, nil
+}
+
+// lorenzoOriginal evaluates the Lorenzo predictor on original data values.
+func lorenzoOriginal(data []float64, strides []int, coords []int, nd, idx int) float64 {
+	var pred float64
+	for mask := 1; mask < 1<<nd; mask++ {
+		off := 0
+		valid := true
+		for d := 0; d < nd; d++ {
+			if mask&(1<<d) != 0 {
+				if coords[d] == 0 {
+					valid = false
+					break
+				}
+				off += strides[d]
+			}
+		}
+		if !valid {
+			continue
+		}
+		if popcount(mask)%2 == 1 {
+			pred += data[idx-off]
+		} else {
+			pred -= data[idx-off]
+		}
+	}
+	return pred
+}
+
+// flatToCoords converts a row-major flat index into per-axis coordinates.
+func flatToCoords(idx int, dims []int, coords []int) {
+	for d := len(dims) - 1; d >= 0; d-- {
+		coords[d] = idx % dims[d]
+		idx /= dims[d]
+	}
+}
+
+// AvgLorenzoError computes the mean absolute Lorenzo prediction error over
+// every sampleStride-th point, using original data values. It is the
+// "average lorenzo error" data-based feature from the paper's Fig 3.
+func AvgLorenzoError(data []float64, dims []int, sampleStride int) (float64, error) {
+	if err := validateDims(len(data), dims); err != nil {
+		return 0, err
+	}
+	if sampleStride < 1 {
+		sampleStride = 1
+	}
+	strides := rowMajorStrides(dims)
+	nd := len(dims)
+	coords := make([]int, nd)
+	var sum float64
+	var n int
+	for idx := 0; idx < len(data); idx += sampleStride {
+		flatToCoords(idx, dims, coords)
+		pred := lorenzoOriginal(data, strides, coords, nd, idx)
+		d := data[idx] - pred
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("sz: no sampled points")
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,183 @@
+// Package ocelot is a Go reproduction of "Optimizing Scientific Data
+// Transfer on Globus with Error-Bounded Lossy Compression" (ICDCS 2023).
+//
+// It provides:
+//
+//   - an SZ3-style prediction-based error-bounded lossy compressor
+//     (Lorenzo / multilevel interpolation / block regression pipelines);
+//   - the paper's compression-quality predictor: feature extraction plus
+//     decision-tree models for compression ratio, speed and PSNR;
+//   - a parallel compression executor, file-grouping optimizer, and
+//     node-waiting sentinel;
+//   - calibrated models of the paper's testbed (Anvil/Bebop/Cori machines,
+//     Globus-style WAN links) for end-to-end what-if simulation;
+//   - synthetic generators for the paper's seven scientific datasets.
+//
+// This file is the public facade; subsystems live under internal/ and the
+// experiment reproductions under internal/experiments (driven by
+// cmd/ocelot-bench and the root benchmark suite).
+package ocelot
+
+import (
+	"context"
+
+	"ocelot/internal/cluster"
+	"ocelot/internal/core"
+	"ocelot/internal/datagen"
+	"ocelot/internal/dtree"
+	"ocelot/internal/metrics"
+	"ocelot/internal/quality"
+	"ocelot/internal/sz"
+	"ocelot/internal/wan"
+)
+
+// --- Compression ---
+
+// Config re-exports the compressor configuration.
+type Config = sz.Config
+
+// Predictor selects the decorrelation stage.
+type Predictor = sz.Predictor
+
+// Compressor pipeline predictors.
+const (
+	PredictorLorenzo    = sz.PredictorLorenzo
+	PredictorInterp     = sz.PredictorInterp
+	PredictorRegression = sz.PredictorRegression
+)
+
+// CompressionStats re-exports per-run compressor statistics.
+type CompressionStats = sz.Stats
+
+// DefaultConfig returns the SZ3-interp default pipeline at an absolute
+// error bound.
+func DefaultConfig(absErrorBound float64) Config {
+	return sz.DefaultConfig(absErrorBound)
+}
+
+// Compress encodes a row-major field (dims[0] slowest) under cfg. Every
+// reconstructed value is guaranteed within cfg.ErrorBound of the original.
+func Compress(data []float64, dims []int, cfg Config) ([]byte, *CompressionStats, error) {
+	return sz.Compress(data, dims, cfg)
+}
+
+// Decompress decodes a stream produced by Compress.
+func Decompress(stream []byte) (data []float64, dims []int, err error) {
+	return sz.Decompress(stream)
+}
+
+// --- Quality metrics ---
+
+// PSNR computes the peak signal-to-noise ratio in dB.
+func PSNR(original, reconstructed []float64) (float64, error) {
+	return metrics.PSNR(original, reconstructed)
+}
+
+// MaxAbsError returns the L∞ distance between two fields.
+func MaxAbsError(original, reconstructed []float64) (float64, error) {
+	return metrics.MaxAbsError(original, reconstructed)
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	return metrics.CompressionRatio(originalBytes, compressedBytes)
+}
+
+// --- Synthetic datasets ---
+
+// Field is a named synthetic scientific dataset variable.
+type Field = datagen.Field
+
+// Applications lists the supported dataset generators.
+func Applications() []string { return datagen.Apps() }
+
+// FieldsOf lists an application's field names.
+func FieldsOf(app string) []string { return datagen.Fields(app) }
+
+// GenerateField synthesizes one dataset field; shrink divides the paper's
+// full dimensions.
+func GenerateField(app, field string, shrink int, seed int64) (*Field, error) {
+	return datagen.Generate(app, field, shrink, seed)
+}
+
+// --- Quality prediction (paper Section VI) ---
+
+// QualityModel bundles the trained ratio/time/PSNR regressors.
+type QualityModel = quality.Model
+
+// QualityEstimate is a predicted compression outcome.
+type QualityEstimate = quality.Estimate
+
+// TrainQualityModel compresses the given fields across the paper's error
+// bound sweep (optionally measuring PSNR) and fits the decision trees.
+func TrainQualityModel(fields []*Field, withPSNR bool) (*QualityModel, error) {
+	samples, err := quality.Collect(fields, quality.CollectOptions{WithPSNR: withPSNR})
+	if err != nil {
+		return nil, err
+	}
+	return quality.Train(samples, dtree.Params{MaxDepth: 14})
+}
+
+// EstimateQuality predicts ratio/time/PSNR for compressing data at a
+// value-range-relative error bound, from a cheap sampling pass.
+func EstimateQuality(m *QualityModel, data []float64, dims []int, relErrorBound float64) (*QualityEstimate, error) {
+	return m.EstimateField(data, dims, relErrorBound, 0)
+}
+
+// LoadQualityModel deserializes a model saved with (*QualityModel).Save.
+func LoadQualityModel(blob []byte) (*QualityModel, error) { return quality.Load(blob) }
+
+// --- End-to-end pipeline ---
+
+// TransferMode selects the strategy (direct / compressed / grouped).
+type TransferMode = core.Mode
+
+// Transfer strategies, matching the paper's NP / CP / OP columns.
+const (
+	TransferDirect     = core.ModeDirect
+	TransferCompressed = core.ModeCompressed
+	TransferGrouped    = core.ModeGrouped
+)
+
+// Pipeline binds source and destination machines with a WAN link.
+type Pipeline = core.Pipeline
+
+// TransferPlan configures a simulated transfer.
+type TransferPlan = core.Plan
+
+// TransferReport is the simulated outcome.
+type TransferReport = core.Report
+
+// FileSet describes a dataset campaign for simulation.
+type FileSet = core.FileSet
+
+// Machine models one HPC system.
+type Machine = cluster.Machine
+
+// Link models one WAN path.
+type Link = wan.Link
+
+// StandardMachines returns the calibrated paper testbed (Anvil, Bebop,
+// BebopKNL, Cori).
+func StandardMachines() map[string]*Machine { return cluster.Standard() }
+
+// StandardLinks returns the calibrated WAN paths between the testbeds.
+func StandardLinks() map[string]*Link { return wan.StandardLinks() }
+
+// UniformFileSet builds a campaign of n equal files with an expected
+// compression ratio.
+func UniformFileSet(app string, n int, fileBytes int64, ratio float64) *FileSet {
+	return core.UniformFileSet(app, n, fileBytes, ratio)
+}
+
+// CampaignOptions configures a real in-process campaign.
+type CampaignOptions = core.CampaignOptions
+
+// CampaignResult reports a real campaign run.
+type CampaignResult = core.CampaignResult
+
+// RunCampaign compresses fields in parallel, groups the streams, unpacks,
+// decompresses and verifies error bounds — the actual data path.
+func RunCampaign(ctx context.Context, fields []*Field, opts CampaignOptions) (*CampaignResult, error) {
+	return core.RunCampaign(ctx, fields, opts)
+}
