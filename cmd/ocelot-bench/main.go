@@ -58,6 +58,7 @@ func run(args []string) error {
 		{"Fig 15", experiments.Fig15},
 		{"Table VIII", experiments.TableVIII},
 		{"Fig 16", experiments.Fig16},
+		{"Pipeline", experiments.PipelineOverlap},
 	}
 
 	var wanted map[string]bool

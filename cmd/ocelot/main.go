@@ -6,12 +6,14 @@
 //	ocelot predict   -in tmq.dat -eb 1e-3          (train-on-the-fly estimate)
 //	ocelot simulate  -app CESM -files 7182 -bytes 224000000 -ratio 7.2 \
 //	                 -route Anvil-\>Bebop
+//	ocelot campaign  -app CESM -fields 12 -pipeline -route Anvil-\>Bebop
 //
 // All data files use the raw-binary + JSON-sidecar layout of
 // internal/dataio.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,7 +40,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: ocelot <generate|compress|decompress|predict|simulate> [flags]")
+		return errors.New("usage: ocelot <generate|compress|decompress|predict|simulate|campaign> [flags]")
 	}
 	switch args[0] {
 	case "generate":
@@ -51,6 +53,8 @@ func run(args []string) error {
 		return cmdPredict(args[1:])
 	case "simulate":
 		return cmdSimulate(args[1:])
+	case "campaign":
+		return cmdCampaign(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -254,6 +258,90 @@ func cmdSimulate(args []string) error {
 		best = cp
 	}
 	fmt.Printf("  gain: %.0f%% (paper range 41–91%%)\n", 100*core.Gain(direct, best))
+	return nil
+}
+
+// cmdCampaign runs a real in-process compress-group-transfer-decompress
+// campaign over synthetic fields, either phase-by-phase (default) or on
+// the streaming pipelined engine (-pipeline), optionally paced by one of
+// the calibrated WAN links (-route).
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	app := fs.String("app", "CESM", "application whose fields to campaign")
+	nFields := fs.Int("fields", 12, "number of fields")
+	shrink := fs.Int("shrink", 20, "divide paper dimensions by this factor")
+	seed := fs.Int64("seed", 3, "generator seed")
+	eb := fs.Float64("eb", 1e-3, "relative error bound")
+	workers := fs.Int("workers", 8, "compression/decompression workers")
+	groups := fs.Int64("groups", 4, "group count (by-world-size packing)")
+	pipelined := fs.Bool("pipeline", false, "stream groups into the transfer while compressing")
+	route := fs.String("route", "", "pace transfers over a standard link (e.g. Anvil->Bebop); empty = in-process")
+	timescale := fs.Float64("timescale", 1e-3, "wall seconds slept per simulated link second")
+	streams := fs.Int("streams", 4, "archives in flight at once")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	available := datagen.Fields(*app)
+	if len(available) == 0 {
+		return fmt.Errorf("campaign: unknown app %q", *app)
+	}
+	if *nFields > len(available) {
+		*nFields = len(available)
+	}
+	fields := make([]*datagen.Field, 0, *nFields)
+	for _, name := range available[:*nFields] {
+		f, err := datagen.Generate(*app, name, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fields = append(fields, f)
+	}
+
+	opts := core.PipelineOptions{
+		CampaignOptions: core.CampaignOptions{
+			RelErrorBound: *eb,
+			Workers:       *workers,
+			GroupParam:    *groups,
+		},
+		TransferStreams: *streams,
+	}
+	if *route != "" {
+		link, ok := wan.StandardLinks()[*route]
+		if !ok {
+			return fmt.Errorf("campaign: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
+		}
+		opts.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
+	}
+
+	ctx := context.Background()
+	var res *core.CampaignResult
+	var err error
+	engine := "sequential"
+	if *pipelined {
+		engine = "pipelined"
+		res, err = core.RunPipelinedCampaign(ctx, fields, opts)
+	} else {
+		res, err = core.RunSequentialCampaign(ctx, fields, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s campaign: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
+		engine, res.Files, *app, float64(res.RawBytes)/1e6,
+		float64(res.GroupedBytes)/1e6, res.Groups, res.Ratio)
+	fmt.Printf("wall %.3fs  [compress %.3fs | pack %.3fs | transfer %.3fs | decompress %.3fs]\n",
+		res.WallSec, res.CompressSec, res.PackSec, res.TransferSec, res.DecompressSec)
+	if res.LinkSec > 0 {
+		fmt.Printf("simulated link time: %.2fs over %s\n", res.LinkSec, *route)
+	}
+	fmt.Printf("max relative error %.2e (bound %.0e) ✓\n", res.MaxRelError, *eb)
+	fmt.Printf("\nper-stage ledger:\n%-12s %8s %7s %12s %12s\n", "stage", "workers", "items", "busy (s)", "span (s)")
+	for _, s := range res.Stages {
+		fmt.Printf("%-12s %8d %7d %12.3f %12.3f\n", s.Name, s.Workers, s.Items, s.BusySec, s.WallSec)
+	}
+	fmt.Printf("\noverlap: %.3fs of stage time ran concurrently\n", res.OverlapSec)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module ocelot
+
+go 1.22

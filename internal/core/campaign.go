@@ -3,15 +3,11 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
-	"math"
 	"time"
 
 	"ocelot/internal/datagen"
-	"ocelot/internal/executor"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
-	"ocelot/internal/metrics"
 	"ocelot/internal/sz"
 )
 
@@ -44,148 +40,31 @@ type CampaignResult struct {
 	DecompressSec   float64
 	MaxRelError     float64 // max observed |err| / field range, ≤ RelErrorBound on success
 	Metadata        string
+
+	// Streaming-engine accounting (populated by both campaign paths).
+	Pipelined   bool    // true when run by RunPipelinedCampaign
+	PackSec     float64 // time spent packing group archives
+	TransferSec float64 // transfer-stage span (first send start to last send end)
+	LinkSec     float64 // transport-reported seconds (e.g. simulated WAN time)
+	WallSec     float64 // end-to-end wall time of the campaign
+	// OverlapSec is the measured concurrency between stages: the sum of
+	// per-stage spans minus the run's span. Zero means strictly serial
+	// phases; the pipelined engine's win is this time, hidden.
+	OverlapSec float64
+	Stages     []StageTiming
 }
 
 // RunCampaign compresses all fields in parallel with the real SZ pipeline,
 // packs the streams into groups, unpacks and decompresses them, and
 // verifies every value honours the error bound. It is the actual data path
-// that the simulation models at scale.
+// that the simulation models at scale. Execution runs on the streaming
+// engine in barrier mode: packing waits for every stream so groups follow
+// grouping.Plan exactly; use RunPipelinedCampaign to overlap the stages.
 func RunCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOptions) (*CampaignResult, error) {
-	if len(fields) == 0 {
-		return nil, errors.New("core: no fields")
-	}
-	if opts.RelErrorBound <= 0 {
-		return nil, errors.New("core: relative error bound must be positive")
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 4
-	}
-	now := opts.Now
-	if now == nil {
-		now = time.Now
-	}
-	res := &CampaignResult{Files: len(fields)}
-	absEBs := make([]float64, len(fields))
-	ranges := make([]float64, len(fields))
-	for i, f := range fields {
-		res.RawBytes += int64(f.RawBytes())
-		r := metrics.ComputeRange(f.Data).Range
-		if r <= 0 {
-			r = 1
-		}
-		ranges[i] = r
-		absEBs[i] = opts.RelErrorBound * r
-	}
-
-	// Parallel compression (Section VII-A).
-	start := now()
-	streams, err := executor.Map(ctx, workers, len(fields), func(ctx context.Context, i int) ([]byte, error) {
-		cfg := sz.DefaultConfig(absEBs[i])
-		if opts.Predictor != 0 {
-			cfg.Predictor = opts.Predictor
-		}
-		stream, _, err := sz.Compress(fields[i].Data, fields[i].Dims, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
-		}
-		return stream, nil
+	return runCampaign(ctx, fields, opts, campaignMode{
+		transport:       NopTransport{},
+		transferStreams: 1,
 	})
-	if err != nil {
-		return nil, err
-	}
-	res.CompressSec = now().Sub(start).Seconds()
-
-	sizes := make([]int64, len(streams))
-	names := make([]string, len(streams))
-	for i, s := range streams {
-		sizes[i] = int64(len(s))
-		names[i] = fields[i].ID() + ".sz"
-		res.CompressedBytes += int64(len(s))
-	}
-	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
-
-	// Grouping (Section VII-C).
-	strategy := opts.GroupStrategy
-	if strategy == 0 {
-		strategy = grouping.ByWorldSize
-	}
-	param := opts.GroupParam
-	if param <= 0 {
-		param = int64(workers)
-	}
-	plan, err := grouping.Plan(sizes, strategy, param)
-	if err != nil {
-		return nil, err
-	}
-	archives := make([][]byte, len(plan))
-	for g, idxs := range plan {
-		members := make([]grouping.Member, 0, len(idxs))
-		for _, i := range idxs {
-			members = append(members, grouping.Member{Name: names[i], Data: streams[i]})
-		}
-		arch, err := grouping.Pack(members)
-		if err != nil {
-			return nil, err
-		}
-		archives[g] = arch
-		res.GroupedBytes += int64(len(arch))
-	}
-	res.Groups = len(archives)
-	res.Metadata = grouping.Metadata(names, plan, strategy)
-
-	// Receiver side: unpack, decompress in parallel, verify bounds.
-	type unpacked struct {
-		name   string
-		stream []byte
-	}
-	var all []unpacked
-	for _, arch := range archives {
-		members, err := grouping.Unpack(arch)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range members {
-			all = append(all, unpacked{m.Name, m.Data})
-		}
-	}
-	if len(all) != len(fields) {
-		return nil, fmt.Errorf("core: %d members after grouping, want %d", len(all), len(fields))
-	}
-	byName := make(map[string]int, len(fields))
-	for i, n := range names {
-		byName[n] = i
-	}
-	start = now()
-	maxRel, err := executor.Map(ctx, workers, len(all), func(ctx context.Context, k int) (float64, error) {
-		i, ok := byName[all[k].name]
-		if !ok {
-			return 0, fmt.Errorf("core: unknown member %q", all[k].name)
-		}
-		recon, dims, err := sz.Decompress(all[k].stream)
-		if err != nil {
-			return 0, fmt.Errorf("decompress %s: %w", all[k].name, err)
-		}
-		if len(dims) != len(fields[i].Dims) {
-			return 0, fmt.Errorf("core: %s: dims mismatch", all[k].name)
-		}
-		maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
-		if err != nil {
-			return 0, err
-		}
-		if maxErr > absEBs[i]*(1+1e-9) {
-			return 0, fmt.Errorf("core: %s: error %g exceeds bound %g", all[k].name, maxErr, absEBs[i])
-		}
-		return maxErr / ranges[i], nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.DecompressSec = now().Sub(start).Seconds()
-	for _, r := range maxRel {
-		res.MaxRelError = math.Max(res.MaxRelError, r)
-	}
-	return res, nil
 }
 
 // Orchestrator runs campaigns through the funcX-style fabric: compression

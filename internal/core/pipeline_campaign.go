@@ -1,0 +1,415 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/grouping"
+	"ocelot/internal/metrics"
+	"ocelot/internal/pipeline"
+	"ocelot/internal/sz"
+)
+
+// StageTiming is the per-stage ledger threaded into CampaignResult.
+type StageTiming = pipeline.StageStats
+
+// PipelineOptions configures the streaming campaign engine.
+type PipelineOptions struct {
+	CampaignOptions
+	// Transport ships packed archives; nil means NopTransport (in-process).
+	Transport Transport
+	// TransferStreams is the number of archives in flight at once — the
+	// Globus "concurrency" knob; ≤ 0 means 4.
+	TransferStreams int
+	// StageBuffer is the capacity of the channels between stages; ≤ 0
+	// means the worker count (enough slack to decouple stage cadences
+	// without unbounded buffering).
+	StageBuffer int
+}
+
+// campaignMode selects between the barrier (classic) and streaming
+// (pipelined) execution of the shared stage graph.
+type campaignMode struct {
+	pipelined       bool
+	sequential      bool // hard barrier between transfer and decompress too
+	transport       Transport
+	transferStreams int
+	buffer          int
+}
+
+// RunPipelinedCampaign is the streaming version of RunCampaign: fields are
+// compressed, packed into group archives, shipped over the transport, and
+// decompressed/verified by concurrently running stages connected with
+// bounded channels — a packed group starts its WAN transfer while later
+// fields are still compressing, hiding compression cost inside transfer
+// time exactly as the paper's end-to-end pipeline does. The result carries
+// per-stage timings and the measured overlap.
+func RunPipelinedCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
+	transport := opts.Transport
+	if transport == nil {
+		transport = NopTransport{}
+	}
+	streams := opts.TransferStreams
+	if streams <= 0 {
+		streams = 4
+	}
+	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
+		pipelined:       true,
+		transport:       transport,
+		transferStreams: streams,
+		buffer:          opts.StageBuffer,
+	})
+}
+
+// RunSequentialCampaign executes the same campaign with hard barriers
+// between every phase — compress all, pack all, transfer all, decompress
+// all — the pre-pipelining behaviour. Each phase still runs its internal
+// parallelism; only the phases are serialized. It exists as the honest
+// baseline RunPipelinedCampaign is benchmarked against on the same
+// transport.
+func RunSequentialCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
+	transport := opts.Transport
+	if transport == nil {
+		transport = NopTransport{}
+	}
+	streams := opts.TransferStreams
+	if streams <= 0 {
+		streams = 4
+	}
+	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
+		sequential:      true,
+		transport:       transport,
+		transferStreams: streams,
+		buffer:          opts.StageBuffer,
+	})
+}
+
+// Items flowing between stages.
+type compressedItem struct {
+	idx    int
+	name   string
+	stream []byte
+}
+
+type packedGroup struct {
+	id      int
+	idxs    []int
+	archive []byte
+}
+
+type sentGroup struct {
+	packedGroup
+	linkSec float64
+}
+
+type verifiedGroup struct {
+	members int
+	maxRel  float64
+}
+
+// packState accumulates grouping bookkeeping; it is only touched by the
+// single-worker pack stage, so no locking is needed until after Wait.
+type packState struct {
+	names           []string
+	streams         map[int][]byte // barrier mode: held until flush
+	plan            [][]int        // realized groups, in emit order
+	compressedBytes int64
+	groupedBytes    int64
+	nextID          int
+}
+
+func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
+	members := make([]grouping.Member, 0, len(idxs))
+	for _, i := range idxs {
+		members = append(members, grouping.Member{Name: ps.names[i], Data: ps.streams[i]})
+		delete(ps.streams, i)
+	}
+	arch, err := grouping.Pack(members)
+	if err != nil {
+		return err
+	}
+	ps.groupedBytes += int64(len(arch))
+	ps.plan = append(ps.plan, idxs)
+	g := packedGroup{id: ps.nextID, idxs: idxs, archive: arch}
+	ps.nextID++
+	return emit(g)
+}
+
+// runCampaign executes the shared compress → pack → transfer →
+// decompress/verify stage graph. Barrier mode reproduces the classic
+// RunCampaign semantics (pack waits for every stream, groups follow
+// grouping.Plan); pipelined mode packs and ships groups as soon as they
+// fill.
+func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOptions, mode campaignMode) (*CampaignResult, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("core: no fields")
+	}
+	if opts.RelErrorBound <= 0 {
+		return nil, errors.New("core: relative error bound must be positive")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	strategy := opts.GroupStrategy
+	if strategy == 0 {
+		strategy = grouping.ByWorldSize
+	}
+	switch strategy {
+	case grouping.ByWorldSize, grouping.ByTargetSize, grouping.SingleArchive:
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+	param := opts.GroupParam
+	if param <= 0 {
+		param = int64(workers)
+	}
+	buffer := mode.buffer
+	if buffer <= 0 {
+		buffer = workers
+	}
+
+	res := &CampaignResult{Files: len(fields), Pipelined: mode.pipelined}
+	absEBs := make([]float64, len(fields))
+	ranges := make([]float64, len(fields))
+	byName := make(map[string]int, len(fields))
+	ps := &packState{names: make([]string, len(fields)), streams: make(map[int][]byte)}
+	for i, f := range fields {
+		res.RawBytes += int64(f.RawBytes())
+		r := metrics.ComputeRange(f.Data).Range
+		if r <= 0 {
+			r = 1
+		}
+		ranges[i] = r
+		absEBs[i] = opts.RelErrorBound * r
+		ps.names[i] = f.ID() + ".sz"
+		byName[ps.names[i]] = i
+	}
+
+	wallStart := now()
+	g := pipeline.NewGroupWithClock(ctx, now)
+
+	idxs := make([]int, len(fields))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	src := pipeline.Emit(g, buffer, idxs)
+
+	compress := pipeline.Stage(g, pipeline.Config{Name: "compress", Workers: workers, Buffer: buffer}, src,
+		func(ctx context.Context, i int) (compressedItem, error) {
+			cfg := sz.DefaultConfig(absEBs[i])
+			if opts.Predictor != 0 {
+				cfg.Predictor = opts.Predictor
+			}
+			stream, _, err := sz.Compress(fields[i].Data, fields[i].Dims, cfg)
+			if err != nil {
+				return compressedItem{}, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
+			}
+			return compressedItem{idx: i, name: ps.names[i], stream: stream}, nil
+		})
+
+	packed := packStage(g, compress, ps, mode, strategy, param, len(fields), buffer)
+
+	var linkMu sync.Mutex
+	var linkSec float64
+	sent := pipeline.Stage(g, pipeline.Config{Name: "transfer", Workers: mode.transferStreams, Buffer: buffer}, packed,
+		func(ctx context.Context, pg packedGroup) (sentGroup, error) {
+			sec, err := mode.transport.Send(ctx, fmt.Sprintf("group-%04d.ocgr", pg.id), pg.archive)
+			if err != nil {
+				return sentGroup{}, err
+			}
+			linkMu.Lock()
+			linkSec += sec
+			linkMu.Unlock()
+			return sentGroup{packedGroup: pg, linkSec: sec}, nil
+		})
+
+	if mode.sequential {
+		// Hard barrier: hold every transferred group until the transfer
+		// phase completes, so decompression cannot overlap it.
+		var held []sentGroup
+		sent = pipeline.Reduce(g, pipeline.Config{Name: "barrier", Buffer: buffer}, sent,
+			func(ctx context.Context, sg sentGroup, emit func(sentGroup) error) error {
+				held = append(held, sg)
+				return nil
+			},
+			func(ctx context.Context, emit func(sentGroup) error) error {
+				for _, sg := range held {
+					if err := emit(sg); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}
+
+	verified := pipeline.Stage(g, pipeline.Config{Name: "decompress", Workers: workers, Buffer: buffer}, sent,
+		func(ctx context.Context, sg sentGroup) (verifiedGroup, error) {
+			members, err := grouping.Unpack(sg.archive)
+			if err != nil {
+				return verifiedGroup{}, err
+			}
+			out := verifiedGroup{members: len(members)}
+			for _, m := range members {
+				i, ok := byName[m.Name]
+				if !ok {
+					return verifiedGroup{}, fmt.Errorf("core: unknown member %q", m.Name)
+				}
+				recon, dims, err := sz.Decompress(m.Data)
+				if err != nil {
+					return verifiedGroup{}, fmt.Errorf("decompress %s: %w", m.Name, err)
+				}
+				if len(dims) != len(fields[i].Dims) {
+					return verifiedGroup{}, fmt.Errorf("core: %s: dims mismatch", m.Name)
+				}
+				maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
+				if err != nil {
+					return verifiedGroup{}, err
+				}
+				if maxErr > absEBs[i]*(1+1e-9) {
+					return verifiedGroup{}, fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
+				}
+				out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
+			}
+			return out, nil
+		})
+
+	collected := pipeline.Collect(g, verified)
+
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	res.WallSec = now().Sub(wallStart).Seconds()
+
+	verifiedFiles := 0
+	for _, v := range *collected {
+		verifiedFiles += v.members
+		res.MaxRelError = math.Max(res.MaxRelError, v.maxRel)
+	}
+	if verifiedFiles != len(fields) {
+		return nil, fmt.Errorf("core: %d members after grouping, want %d", verifiedFiles, len(fields))
+	}
+
+	res.CompressedBytes = ps.compressedBytes
+	res.GroupedBytes = ps.groupedBytes
+	res.Groups = len(ps.plan)
+	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
+	res.Metadata = grouping.Metadata(ps.names, ps.plan, strategy)
+	res.LinkSec = linkSec
+
+	stats := g.Stats()
+	res.Stages = stats
+	res.OverlapSec = pipeline.Overlap(stats)
+	for _, s := range stats {
+		switch s.Name {
+		case "compress":
+			res.CompressSec = s.WallSec
+		case "pack":
+			res.PackSec = s.BusySec
+		case "transfer":
+			res.TransferSec = s.WallSec
+		case "decompress":
+			res.DecompressSec = s.WallSec
+		}
+	}
+	return res, nil
+}
+
+// packStage wires the grouping stage. Both modes run as a single-worker
+// Reduce; they differ in when groups are emitted.
+func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode campaignMode,
+	strategy grouping.Strategy, param int64, nFields, buffer int) <-chan packedGroup {
+	cfg := pipeline.Config{Name: "pack", Buffer: buffer}
+
+	if !mode.pipelined {
+		// Barrier: hold every stream, then group exactly as the classic
+		// path does (round-robin plan over the full inventory).
+		return pipeline.Reduce(g, cfg, in,
+			func(ctx context.Context, it compressedItem, emit func(packedGroup) error) error {
+				ps.streams[it.idx] = it.stream
+				ps.compressedBytes += int64(len(it.stream))
+				return nil
+			},
+			func(ctx context.Context, emit func(packedGroup) error) error {
+				sizes := make([]int64, nFields)
+				for i := 0; i < nFields; i++ {
+					sizes[i] = int64(len(ps.streams[i]))
+				}
+				plan, err := grouping.Plan(sizes, strategy, param)
+				if err != nil {
+					return err
+				}
+				for _, idxs := range plan {
+					if err := ps.emitGroup(idxs, emit); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}
+
+	// Streaming: emit a group the moment it fills so the transfer stage
+	// can start while later fields are still compressing. ByWorldSize
+	// fills exactly `world` balanced groups (the first n%world groups get
+	// one extra member, matching the round-robin plan's sizes, so the
+	// archive count — and hence per-file WAN overhead — is identical to
+	// the barrier engine's). ByTargetSize fills byte-budget groups;
+	// SingleArchive degenerates to one flush.
+	groupSize := func(int) int { return 0 }
+	if strategy == grouping.ByWorldSize {
+		world := int(param)
+		if world > nFields {
+			world = nFields
+		}
+		base, rem := nFields/world, nFields%world
+		groupSize = func(g int) int {
+			if g < rem {
+				return base + 1
+			}
+			return base
+		}
+	}
+	var cur []int
+	var curBytes int64
+	flushCur := func(emit func(packedGroup) error) error {
+		if len(cur) == 0 {
+			return nil
+		}
+		// Streams arrive in completion order; keep members sorted so
+		// metadata is stable for a given grouping.
+		idxs := append([]int(nil), cur...)
+		sort.Ints(idxs)
+		cur, curBytes = nil, 0
+		return ps.emitGroup(idxs, emit)
+	}
+	return pipeline.Reduce(g, cfg, in,
+		func(ctx context.Context, it compressedItem, emit func(packedGroup) error) error {
+			size := int64(len(it.stream))
+			ps.compressedBytes += size
+			if strategy == grouping.ByTargetSize && curBytes > 0 && curBytes+size > param {
+				if err := flushCur(emit); err != nil {
+					return err
+				}
+			}
+			ps.streams[it.idx] = it.stream
+			cur = append(cur, it.idx)
+			curBytes += size
+			if want := groupSize(ps.nextID); want > 0 && len(cur) == want {
+				return flushCur(emit)
+			}
+			return nil
+		},
+		func(ctx context.Context, emit func(packedGroup) error) error {
+			return flushCur(emit)
+		})
+}

@@ -118,6 +118,76 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	return out, nil
 }
 
+// StreamMap is the streaming counterpart of Map: it applies fn to values
+// arriving on in with `workers` goroutines, delivering results on the
+// returned channel (buffered to `buffer`). Results are emitted as they
+// complete, not in input order. The output channel is closed once in is
+// closed and all in-flight items have finished, or once the stage aborts
+// on error/cancellation. The returned wait function joins the workers and
+// reports the first error (nil on clean completion).
+//
+// Callers that feed `in` must select on ctx.Done while sending, or the
+// feeder can block forever after the stage aborts.
+func StreamMap[I, O any](ctx context.Context, workers, buffer int, in <-chan I, fn func(ctx context.Context, v I) (O, error)) (<-chan O, func() error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	out := make(chan O, buffer)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-sctx.Done():
+					return
+				case v, ok := <-in:
+					if !ok {
+						return
+					}
+					o, err := fn(sctx, v)
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						cancel()
+						return
+					}
+					select {
+					case <-sctx.Done():
+						return
+					case out <- o:
+					}
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(out)
+		close(done)
+	}()
+	wait := func() error {
+		<-done
+		cancel()
+		select {
+		case err := <-errCh:
+			return err
+		default:
+		}
+		return ctx.Err()
+	}
+	return out, wait
+}
+
 // Makespan computes the simulated completion time of running tasks with the
 // given per-task costs (seconds) on `workers` parallel workers using greedy
 // longest-first scheduling. It mirrors what Pool achieves in practice and

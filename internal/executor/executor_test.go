@@ -232,3 +232,69 @@ func TestMakespanMoreWorkersNeverSlower(t *testing.T) {
 		prev = m
 	}
 }
+
+func TestStreamMapDeliversAll(t *testing.T) {
+	in := make(chan int)
+	go func() {
+		defer close(in)
+		for i := 0; i < 50; i++ {
+			in <- i
+		}
+	}()
+	out, wait := StreamMap(context.Background(), 4, 2, in,
+		func(ctx context.Context, v int) (int, error) { return v * v, nil })
+	var sum int
+	for v := range out {
+		sum += v
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 50; i++ {
+		want += i * i
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestStreamMapErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	ctx := context.Background()
+	in := make(chan int)
+	go func() {
+		defer close(in)
+		for i := 0; i < 1000; i++ {
+			select {
+			case in <- i:
+			case <-time.After(5 * time.Second):
+				return
+			}
+		}
+	}()
+	out, wait := StreamMap(ctx, 2, 0, in, func(ctx context.Context, v int) (int, error) {
+		if v == 3 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	for range out {
+	}
+	if err := wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestStreamMapParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan int) // never fed, never closed
+	out, wait := StreamMap(ctx, 2, 0, in,
+		func(ctx context.Context, v int) (int, error) { return v, nil })
+	cancel()
+	for range out {
+	}
+	if err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

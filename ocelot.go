@@ -181,3 +181,39 @@ type CampaignResult = core.CampaignResult
 func RunCampaign(ctx context.Context, fields []*Field, opts CampaignOptions) (*CampaignResult, error) {
 	return core.RunCampaign(ctx, fields, opts)
 }
+
+// --- Pipelined campaign engine ---
+
+// PipelineOptions configures the streaming campaign engine.
+type PipelineOptions = core.PipelineOptions
+
+// StageTiming is one pipeline stage's timing ledger.
+type StageTiming = core.StageTiming
+
+// Transport ships packed group archives between endpoints.
+type Transport = core.Transport
+
+// NopTransport moves archives instantaneously (in-process campaigns).
+type NopTransport = core.NopTransport
+
+// SimulatedWANTransport paces sends at a calibrated wan.Link's rate in
+// (scaled) real time, so pipelining overlap shows up in wall time.
+type SimulatedWANTransport = core.SimulatedWANTransport
+
+// GridFTPTransport ships archives over the repo's real wire protocol.
+type GridFTPTransport = core.GridFTPTransport
+
+// RunPipelinedCampaign is the streaming version of RunCampaign: compress,
+// pack, transfer, and decompress/verify run as concurrently-connected
+// bounded stages, so a packed group starts its WAN transfer while later
+// fields are still compressing. The result carries per-stage timings and
+// the measured overlap.
+func RunPipelinedCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
+	return core.RunPipelinedCampaign(ctx, fields, opts)
+}
+
+// RunSequentialCampaign runs the same campaign with hard barriers between
+// phases — the pre-pipelining baseline for overlap benchmarks.
+func RunSequentialCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
+	return core.RunSequentialCampaign(ctx, fields, opts)
+}

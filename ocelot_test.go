@@ -1,0 +1,171 @@
+// Facade smoke tests: every public entry point of package ocelot is
+// exercised end-to-end at laptop-test scale — compression round-trips,
+// quality prediction, transfer simulation, and both campaign engines.
+package ocelot
+
+import (
+	"context"
+	"testing"
+)
+
+func facadeField(t testing.TB, app, name string, shrink int) *Field {
+	t.Helper()
+	f, err := GenerateField(app, name, shrink, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFacadeCompressRoundTrip(t *testing.T) {
+	f := facadeField(t, "CESM", "TMQ", 24)
+	cfg := DefaultConfig(1e-3)
+	stream, stats, err := Compress(f.Data, f.Dims, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil {
+		t.Fatal("nil compression stats")
+	}
+	if len(stream) >= f.RawBytes() {
+		t.Errorf("no compression: %d -> %d bytes", f.RawBytes(), len(stream))
+	}
+	recon, dims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != len(f.Data) || len(dims) != len(f.Dims) {
+		t.Fatalf("shape mismatch: %d points, dims %v", len(recon), dims)
+	}
+	maxErr, err := MaxAbsError(f.Data, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1e-3*(1+1e-9) {
+		t.Errorf("max error %g exceeds bound", maxErr)
+	}
+	psnr, err := PSNR(f.Data, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr <= 0 {
+		t.Errorf("PSNR = %g", psnr)
+	}
+	if r := CompressionRatio(f.RawBytes(), len(stream)); r <= 1 {
+		t.Errorf("ratio = %g", r)
+	}
+}
+
+func TestFacadePredictorConstants(t *testing.T) {
+	f := facadeField(t, "Miranda", "density", 40)
+	for _, p := range []Predictor{PredictorLorenzo, PredictorInterp, PredictorRegression} {
+		cfg := DefaultConfig(1e-3)
+		cfg.Predictor = p
+		if _, _, err := Compress(f.Data, f.Dims, cfg); err != nil {
+			t.Errorf("predictor %v: %v", p, err)
+		}
+	}
+}
+
+func TestFacadeDatasetCatalog(t *testing.T) {
+	apps := Applications()
+	if len(apps) == 0 {
+		t.Fatal("no applications")
+	}
+	for _, app := range apps {
+		if len(FieldsOf(app)) == 0 {
+			t.Errorf("app %s has no fields", app)
+		}
+	}
+	if FieldsOf("no-such-app") != nil {
+		t.Error("unknown app should have no fields")
+	}
+}
+
+func TestFacadeQualityPrediction(t *testing.T) {
+	var corpus []*Field
+	for _, name := range FieldsOf("CESM")[:4] {
+		corpus = append(corpus, facadeField(t, "CESM", name, 40))
+	}
+	model, err := TrainQualityModel(corpus, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := facadeField(t, "CESM", "PSL", 40)
+	est, err := EstimateQuality(model, target.Data, target.Dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ratio <= 0 {
+		t.Errorf("predicted ratio = %g", est.Ratio)
+	}
+	blob, err := model.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQualityModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2, err := EstimateQuality(loaded, target.Data, target.Dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Ratio != est.Ratio {
+		t.Errorf("loaded model predicts %g, original %g", est2.Ratio, est.Ratio)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	machines := StandardMachines()
+	links := StandardLinks()
+	p := &Pipeline{Source: machines["Anvil"], Dest: machines["Bebop"], Link: links["Anvil->Bebop"]}
+	fs := UniformFileSet("CESM", 7182, 224e6, 7.2)
+	direct, cp, op, err := p.CompareModes(fs, TransferPlan{SourceNodes: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Mode != TransferDirect || cp.Mode != TransferCompressed || op.Mode != TransferGrouped {
+		t.Error("mode labels wrong")
+	}
+	if op.TotalSec >= direct.TotalSec {
+		t.Errorf("grouped (%.0fs) must beat direct (%.0fs)", op.TotalSec, direct.TotalSec)
+	}
+}
+
+func TestFacadeCampaignEngines(t *testing.T) {
+	var fields []*Field
+	for _, name := range FieldsOf("CESM")[:6] {
+		fields = append(fields, facadeField(t, "CESM", name, 40))
+	}
+	ctx := context.Background()
+	classic, err := RunCampaign(ctx, fields, CampaignOptions{RelErrorBound: 1e-3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classic.Files != 6 || classic.Ratio <= 1 {
+		t.Errorf("classic campaign: %+v", classic)
+	}
+	opts := PipelineOptions{
+		CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 4, GroupParam: 3},
+		Transport:       &SimulatedWANTransport{Link: StandardLinks()["Anvil->Cori"], Timescale: 1e-2},
+		TransferStreams: 2,
+	}
+	pipe, err := RunPipelinedCampaign(ctx, fields, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pipe.Pipelined || pipe.Groups != 3 || len(pipe.Stages) != 4 {
+		t.Errorf("pipelined campaign: groups=%d stages=%d", pipe.Groups, len(pipe.Stages))
+	}
+	if pipe.MaxRelError > 1e-3*(1+1e-9) {
+		t.Errorf("bound violated: %g", pipe.MaxRelError)
+	}
+	seq, err := RunSequentialCampaign(ctx, fields, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Pipelined {
+		t.Error("sequential run marked pipelined")
+	}
+}
