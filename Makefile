@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint cover tier1
+.PHONY: build test race bench lint cover tier1 plan-smoke
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,12 @@ cover:
 # The repo's tier-1 verification command.
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+# Planner smoke: train-on-sweep + plan + adaptive campaign on small
+# synthetic fields, so the closed predict-then-transfer loop can't rot.
+plan-smoke:
+	$(GO) run ./cmd/ocelot plan -app CESM -fields 6 -shrink 40 -train-shrink 64 \
+		-route 'Anvil->Bebop' -min-psnr 70
+	$(GO) run ./cmd/ocelot campaign -adaptive -app CESM -fields 6 -shrink 40 \
+		-train-shrink 64 -route 'Anvil->Bebop' -min-psnr 70 -timescale 1e-3
+	$(GO) run ./cmd/ocelot-bench -shrink 32 -only Planner

@@ -59,6 +59,7 @@ func run(args []string) error {
 		{"Table VIII", experiments.TableVIII},
 		{"Fig 16", experiments.Fig16},
 		{"Pipeline", experiments.PipelineOverlap},
+		{"Planner", experiments.Planner},
 	}
 
 	var wanted map[string]bool

@@ -7,6 +7,8 @@
 //	ocelot simulate  -app CESM -files 7182 -bytes 224000000 -ratio 7.2 \
 //	                 -route Anvil-\>Bebop
 //	ocelot campaign  -app CESM -fields 12 -pipeline -route Anvil-\>Bebop
+//	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70
+//	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop
 //
 // All data files use the raw-binary + JSON-sidecar layout of
 // internal/dataio.
@@ -26,6 +28,7 @@ import (
 	"ocelot/internal/dataio"
 	"ocelot/internal/dtree"
 	"ocelot/internal/metrics"
+	"ocelot/internal/planner"
 	"ocelot/internal/quality"
 	"ocelot/internal/sz"
 	"ocelot/internal/wan"
@@ -40,9 +43,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: ocelot <generate|compress|decompress|predict|simulate|campaign> [flags]")
+		return errors.New("usage: ocelot <generate|compress|decompress|predict|plan|simulate|campaign> [flags]")
 	}
 	switch args[0] {
+	case "plan":
+		return cmdPlan(args[1:])
 	case "generate":
 		return cmdGenerate(args[1:])
 	case "compress":
@@ -261,41 +266,119 @@ func cmdSimulate(args []string) error {
 	return nil
 }
 
+// campaignFields generates the synthetic fields a campaign or plan runs
+// over.
+func campaignFields(app string, nFields, shrink int, seed int64) ([]*datagen.Field, error) {
+	available := datagen.Fields(app)
+	if len(available) == 0 {
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+	if nFields > len(available) {
+		nFields = len(available)
+	}
+	fields := make([]*datagen.Field, 0, nFields)
+	for _, name := range available[:nFields] {
+		f, err := datagen.Generate(app, name, shrink, seed)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+	}
+	return fields, nil
+}
+
+// trainPlannerModel trains the quality model from a quick sweep over
+// shrunken stand-ins of the campaign fields (the planner's
+// train-on-the-fly path).
+func trainPlannerModel(app string, nFields, trainShrink int, seed int64) (*quality.Model, error) {
+	train, err := campaignFields(app, nFields, trainShrink, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return planner.TrainFromSweep(train, nil, dtree.Params{MaxDepth: 14})
+}
+
+// cmdPlan runs only the predictive plan stage: sample each field, predict
+// quality across the candidate grid, and print the per-field decision
+// table with the plan's end-to-end forecast.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	app := fs.String("app", "CESM", "application whose fields to plan")
+	nFields := fs.Int("fields", 12, "number of fields")
+	shrink := fs.Int("shrink", 20, "divide paper dimensions by this factor")
+	seed := fs.Int64("seed", 3, "generator seed")
+	workers := fs.Int("workers", 8, "compression workers assumed by the plan")
+	route := fs.String("route", "Anvil->Bebop", "WAN link the plan optimizes for")
+	minPSNR := fs.Float64("min-psnr", 70, "quality floor in dB (0 disables)")
+	maxRelEB := fs.Float64("max-releb", 0, "cap on the assigned relative error bound (0 disables)")
+	trainShrink := fs.Int("train-shrink", 40, "shrink factor for the training sweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	link, ok := wan.StandardLinks()[*route]
+	if !ok {
+		return fmt.Errorf("plan: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
+	}
+	fields, err := campaignFields(*app, *nFields, *shrink, *seed)
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
+	fmt.Printf("training quality model (sweep at shrink %d)...\n", *trainShrink)
+	start := time.Now()
+	model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed)
+	if err != nil {
+		return err
+	}
+	trainSec := time.Since(start).Seconds()
+	popts := planner.Options{
+		MinPSNR:  *minPSNR,
+		MaxRelEB: *maxRelEB,
+		Link:     link,
+		Workers:  *workers,
+		Seed:     *seed,
+	}
+	start = time.Now()
+	plan, err := planner.Build(fields, model, popts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan for %d %s fields over %s (trained %.1fs, planned %.3fs):\n\n",
+		len(fields), *app, *route, trainSec, time.Since(start).Seconds())
+	fmt.Print(plan.String())
+	if fixed, err := planner.FixedBaseline(fields, model, popts); err == nil {
+		fmt.Printf("fixed global-bound baseline under the same floor: rel-eb %.0e\n", fixed)
+	}
+	return nil
+}
+
 // cmdCampaign runs a real in-process compress-group-transfer-decompress
-// campaign over synthetic fields, either phase-by-phase (default) or on
-// the streaming pipelined engine (-pipeline), optionally paced by one of
-// the calibrated WAN links (-route).
+// campaign over synthetic fields, either phase-by-phase (default), on the
+// streaming pipelined engine (-pipeline), or with the predictive planner
+// choosing per-field bounds and grouping (-adaptive), optionally paced by
+// one of the calibrated WAN links (-route).
 func cmdCampaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	app := fs.String("app", "CESM", "application whose fields to campaign")
 	nFields := fs.Int("fields", 12, "number of fields")
 	shrink := fs.Int("shrink", 20, "divide paper dimensions by this factor")
 	seed := fs.Int64("seed", 3, "generator seed")
-	eb := fs.Float64("eb", 1e-3, "relative error bound")
+	eb := fs.Float64("eb", 1e-3, "relative error bound (fixed campaigns)")
 	workers := fs.Int("workers", 8, "compression/decompression workers")
-	groups := fs.Int64("groups", 4, "group count (by-world-size packing)")
+	groups := fs.Int64("groups", 4, "group count (by-world-size packing; -adaptive decides its own)")
 	pipelined := fs.Bool("pipeline", false, "stream groups into the transfer while compressing")
+	adaptive := fs.Bool("adaptive", false, "plan per-field bounds/predictors/grouping with the quality predictor")
+	minPSNR := fs.Float64("min-psnr", 70, "adaptive quality floor in dB (0 disables)")
+	trainShrink := fs.Int("train-shrink", 40, "adaptive training-sweep shrink factor")
 	route := fs.String("route", "", "pace transfers over a standard link (e.g. Anvil->Bebop); empty = in-process")
 	timescale := fs.Float64("timescale", 1e-3, "wall seconds slept per simulated link second")
-	streams := fs.Int("streams", 4, "archives in flight at once")
+	streams := fs.Int("streams", 0, "archives in flight at once (0 = link concurrency)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	available := datagen.Fields(*app)
-	if len(available) == 0 {
-		return fmt.Errorf("campaign: unknown app %q", *app)
-	}
-	if *nFields > len(available) {
-		*nFields = len(available)
-	}
-	fields := make([]*datagen.Field, 0, *nFields)
-	for _, name := range available[:*nFields] {
-		f, err := datagen.Generate(*app, name, *shrink, *seed)
-		if err != nil {
-			return err
-		}
-		fields = append(fields, f)
+	fields, err := campaignFields(*app, *nFields, *shrink, *seed)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 
 	opts := core.PipelineOptions{
@@ -316,16 +399,32 @@ func cmdCampaign(args []string) error {
 
 	ctx := context.Background()
 	var res *core.CampaignResult
-	var err error
 	engine := "sequential"
-	if *pipelined {
+	switch {
+	case *adaptive:
+		engine = "adaptive"
+		fmt.Printf("training quality model (sweep at shrink %d)...\n", *trainShrink)
+		model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed)
+		if err != nil {
+			return err
+		}
+		res, err = core.RunPlannedCampaign(ctx, fields, core.PlanOptions{
+			PipelineOptions: opts,
+			Model:           model,
+			Planner:         planner.Options{MinPSNR: *minPSNR, Seed: *seed},
+		})
+		if err != nil {
+			return err
+		}
+	case *pipelined:
 		engine = "pipelined"
-		res, err = core.RunPipelinedCampaign(ctx, fields, opts)
-	} else {
-		res, err = core.RunSequentialCampaign(ctx, fields, opts)
-	}
-	if err != nil {
-		return err
+		if res, err = core.RunPipelinedCampaign(ctx, fields, opts); err != nil {
+			return err
+		}
+	default:
+		if res, err = core.RunSequentialCampaign(ctx, fields, opts); err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("%s campaign: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
@@ -336,7 +435,21 @@ func cmdCampaign(args []string) error {
 	if res.LinkSec > 0 {
 		fmt.Printf("simulated link time: %.2fs over %s\n", res.LinkSec, *route)
 	}
-	fmt.Printf("max relative error %.2e (bound %.0e) ✓\n", res.MaxRelError, *eb)
+	if res.Planned {
+		fmt.Printf("\nplan (%.3fs to decide):\n%s", res.PlanSec, res.Plan.String())
+		fmt.Printf("\npredicted vs actual:\n")
+		fmt.Printf("  ratio:        %8.1f predicted   %8.1f actual\n", res.PredRatio, res.Ratio)
+		fmt.Printf("  compress (s): %8.2f predicted   %8.2f actual\n", res.PredCompressSec, res.CompressSec)
+		fmt.Printf("  transfer (s): %8.2f predicted   %8.2f actual (link makespan over realized archives)\n",
+			res.PredTransferSec, res.LinkEstSec)
+		fmt.Printf("  wall (s):     %8.2f predicted   %8.2f actual (timescale %g)\n", res.PredWallSec, res.WallSec, *timescale)
+		if *minPSNR > 0 {
+			fmt.Printf("  quality floor: min PSNR %.1f dB measured (floor %.1f dB)\n", res.MinPSNR, *minPSNR)
+		}
+		fmt.Printf("max relative error %.2e ✓\n", res.MaxRelError)
+	} else {
+		fmt.Printf("max relative error %.2e (bound %.0e) ✓\n", res.MaxRelError, *eb)
+	}
 	fmt.Printf("\nper-stage ledger:\n%-12s %8s %7s %12s %12s\n", "stage", "workers", "items", "busy (s)", "span (s)")
 	for _, s := range res.Stages {
 		fmt.Printf("%-12s %8d %7d %12.3f %12.3f\n", s.Name, s.Workers, s.Items, s.BusySec, s.WallSec)

@@ -73,6 +73,43 @@ func main() {
 			s.Name, s.Workers, s.Items, s.BusySec, s.WallSec)
 	}
 
+	// --- Adaptive leg: the planner closes the predict-then-transfer loop ---
+	// A quality model trained on shrunken stand-ins predicts ratio/speed/
+	// PSNR per field; the planner assigns each field its own bound and
+	// predictor under a 70 dB floor and picks the grouping, then the same
+	// pipelined engine runs the plan. The result carries predicted vs
+	// actual so the forecast is accountable.
+	train := make([]*ocelot.Field, 0, len(fields))
+	for _, name := range ocelot.FieldsOf("CESM")[:12] {
+		f, err := ocelot.GenerateField("CESM", name, 40, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, f)
+	}
+	model, err := ocelot.TrainPlannerModel(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aopts := popts
+	// The plan assumes the link's full concurrency is offered; 0 lets the
+	// engine default the stream count from the transport's hint.
+	aopts.TransferStreams = 0
+	adaptive, err := ocelot.RunPlannedCampaign(context.Background(), fields, ocelot.PlanOptions{
+		PipelineOptions: aopts,
+		Model:           model,
+		Planner:         ocelot.PlannerOptions{MinPSNR: 70},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadaptive campaign (planner, 70 dB floor):\n")
+	fmt.Printf("  wall %.3fs (fixed pipelined: %.3fs); plan took %.3fs\n",
+		adaptive.WallSec, streamed.WallSec, adaptive.PlanSec)
+	fmt.Printf("  predicted vs actual: ratio %.1f/%.1f, transfer makespan %.3fs/%.3fs\n",
+		adaptive.PredRatio, adaptive.Ratio, adaptive.PredTransferSec, adaptive.LinkEstSec)
+	fmt.Printf("  min PSNR %.1f dB, max rel error %.2e\n", adaptive.MinPSNR, adaptive.MaxRelError)
+
 	// --- Paper-scale simulation over the calibrated WAN ---
 	pipe := &ocelot.Pipeline{Source: machines["Anvil"], Dest: machines["Bebop"], Link: links["Anvil->Bebop"]}
 	campaign := ocelot.UniformFileSet("CESM", 7182, 224e6, res.Ratio)

@@ -8,6 +8,7 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
+	"ocelot/internal/planner"
 	"ocelot/internal/sz"
 )
 
@@ -35,6 +36,7 @@ type CampaignResult struct {
 	CompressedBytes int64
 	Groups          int
 	GroupedBytes    int64
+	GroupBytes      []int64 // realized per-archive sizes, in emit order
 	Ratio           float64
 	CompressSec     float64
 	DecompressSec   float64
@@ -52,6 +54,23 @@ type CampaignResult struct {
 	// phases; the pipelined engine's win is this time, hidden.
 	OverlapSec float64
 	Stages     []StageTiming
+
+	// Planner accounting (populated by RunPlannedCampaign): the plan's
+	// predictions beside the measured outcome, so every adaptive run
+	// reports predicted vs. actual.
+	Planned         bool    // true when a predictive plan chose the configs
+	PlanSec         float64 // seconds spent sampling, predicting, deciding
+	MinPSNR         float64 // measured min PSNR across fields (planned runs only)
+	PredRatio       float64 // plan's predicted compression ratio (vs. Ratio)
+	PredCompressSec float64 // predicted compress wall (vs. CompressSec)
+	PredTransferSec float64 // predicted transfer makespan (vs. LinkEstSec)
+	PredWallSec     float64 // predicted pipelined wall (vs. WallSec)
+	// LinkEstSec is the link model's transfer makespan over the REALIZED
+	// archive sizes — the honest "actual" beside PredTransferSec, since
+	// LinkSec sums per-send seconds (overlap double-counted) while the
+	// prediction is a makespan.
+	LinkEstSec float64
+	Plan       *planner.Plan // the full per-field decision table
 }
 
 // RunCampaign compresses all fields in parallel with the real SZ pipeline,

@@ -24,8 +24,12 @@ type PipelineOptions struct {
 	CampaignOptions
 	// Transport ships packed archives; nil means NopTransport (in-process).
 	Transport Transport
-	// TransferStreams is the number of archives in flight at once — the
-	// Globus "concurrency" knob; ≤ 0 means 4.
+	// TransferStreams is the number of goroutines offering archives to the
+	// transport at once — the Globus "concurrency" knob. ≤ 0 defaults to
+	// the transport's own hint (a simulated WAN hints its link's
+	// concurrency), else 4. Streams beyond the link's concurrency do not
+	// add bandwidth: SimulatedWANTransport admits at most
+	// Link.Concurrency sends at a time and queues the rest.
 	TransferStreams int
 	// StageBuffer is the capacity of the channels between stages; ≤ 0
 	// means the worker count (enough slack to decouple stage cadences
@@ -41,6 +45,18 @@ type campaignMode struct {
 	transport       Transport
 	transferStreams int
 	buffer          int
+	// perField overrides the global RelErrorBound/Predictor with planner
+	// decisions, one entry per field (planned campaigns).
+	perField []fieldSetting
+	// measurePSNR also scores reconstruction PSNR in the verify stage so
+	// planned campaigns can report predicted-vs-actual quality.
+	measurePSNR bool
+}
+
+// fieldSetting is one field's planned compression configuration.
+type fieldSetting struct {
+	relEB     float64
+	predictor sz.Predictor
 }
 
 // RunPipelinedCampaign is the streaming version of RunCampaign: fields are
@@ -51,20 +67,27 @@ type campaignMode struct {
 // time exactly as the paper's end-to-end pipeline does. The result carries
 // per-stage timings and the measured overlap.
 func RunPipelinedCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
-	transport := opts.Transport
-	if transport == nil {
-		transport = NopTransport{}
-	}
-	streams := opts.TransferStreams
-	if streams <= 0 {
-		streams = 4
-	}
+	transport, streams := resolveTransport(opts)
 	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
 		pipelined:       true,
 		transport:       transport,
 		transferStreams: streams,
 		buffer:          opts.StageBuffer,
 	})
+}
+
+// resolveTransport fills the transport and stream-count defaults shared by
+// every campaign entry point.
+func resolveTransport(opts PipelineOptions) (Transport, int) {
+	transport := opts.Transport
+	if transport == nil {
+		transport = NopTransport{}
+	}
+	streams := opts.TransferStreams
+	if streams <= 0 {
+		streams = defaultStreams(transport)
+	}
+	return transport, streams
 }
 
 // RunSequentialCampaign executes the same campaign with hard barriers
@@ -74,14 +97,7 @@ func RunPipelinedCampaign(ctx context.Context, fields []*datagen.Field, opts Pip
 // baseline RunPipelinedCampaign is benchmarked against on the same
 // transport.
 func RunSequentialCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
-	transport := opts.Transport
-	if transport == nil {
-		transport = NopTransport{}
-	}
-	streams := opts.TransferStreams
-	if streams <= 0 {
-		streams = 4
-	}
+	transport, streams := resolveTransport(opts)
 	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
 		sequential:      true,
 		transport:       transport,
@@ -111,6 +127,7 @@ type sentGroup struct {
 type verifiedGroup struct {
 	members int
 	maxRel  float64
+	minPSNR float64
 }
 
 // packState accumulates grouping bookkeeping; it is only touched by the
@@ -119,6 +136,7 @@ type packState struct {
 	names           []string
 	streams         map[int][]byte // barrier mode: held until flush
 	plan            [][]int        // realized groups, in emit order
+	groupBytes      []int64        // realized archive sizes, in emit order
 	compressedBytes int64
 	groupedBytes    int64
 	nextID          int
@@ -136,6 +154,7 @@ func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
 	}
 	ps.groupedBytes += int64(len(arch))
 	ps.plan = append(ps.plan, idxs)
+	ps.groupBytes = append(ps.groupBytes, int64(len(arch)))
 	g := packedGroup{id: ps.nextID, idxs: idxs, archive: arch}
 	ps.nextID++
 	return emit(g)
@@ -150,7 +169,10 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	if len(fields) == 0 {
 		return nil, errors.New("core: no fields")
 	}
-	if opts.RelErrorBound <= 0 {
+	if mode.perField != nil && len(mode.perField) != len(fields) {
+		return nil, fmt.Errorf("core: %d field settings for %d fields", len(mode.perField), len(fields))
+	}
+	if opts.RelErrorBound <= 0 && mode.perField == nil {
 		return nil, errors.New("core: relative error bound must be positive")
 	}
 	workers := opts.Workers
@@ -182,6 +204,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	res := &CampaignResult{Files: len(fields), Pipelined: mode.pipelined}
 	absEBs := make([]float64, len(fields))
 	ranges := make([]float64, len(fields))
+	preds := make([]sz.Predictor, len(fields))
 	byName := make(map[string]int, len(fields))
 	ps := &packState{names: make([]string, len(fields)), streams: make(map[int][]byte)}
 	for i, f := range fields {
@@ -191,7 +214,20 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			r = 1
 		}
 		ranges[i] = r
-		absEBs[i] = opts.RelErrorBound * r
+		relEB := opts.RelErrorBound
+		preds[i] = opts.Predictor
+		if mode.perField != nil {
+			if s := mode.perField[i]; s.relEB > 0 {
+				relEB = s.relEB
+				if s.predictor != 0 {
+					preds[i] = s.predictor
+				}
+			}
+		}
+		if relEB <= 0 {
+			return nil, fmt.Errorf("core: field %d has no error bound", i)
+		}
+		absEBs[i] = relEB * r
 		ps.names[i] = f.ID() + ".sz"
 		byName[ps.names[i]] = i
 	}
@@ -208,8 +244,8 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	compress := pipeline.Stage(g, pipeline.Config{Name: "compress", Workers: workers, Buffer: buffer}, src,
 		func(ctx context.Context, i int) (compressedItem, error) {
 			cfg := sz.DefaultConfig(absEBs[i])
-			if opts.Predictor != 0 {
-				cfg.Predictor = opts.Predictor
+			if preds[i] != 0 {
+				cfg.Predictor = preds[i]
 			}
 			stream, _, err := sz.Compress(fields[i].Data, fields[i].Dims, cfg)
 			if err != nil {
@@ -259,7 +295,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			if err != nil {
 				return verifiedGroup{}, err
 			}
-			out := verifiedGroup{members: len(members)}
+			out := verifiedGroup{members: len(members), minPSNR: math.Inf(1)}
 			for _, m := range members {
 				i, ok := byName[m.Name]
 				if !ok {
@@ -280,6 +316,13 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 					return verifiedGroup{}, fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
 				}
 				out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
+				if mode.measurePSNR {
+					p, err := metrics.PSNR(fields[i].Data, recon)
+					if err != nil {
+						return verifiedGroup{}, err
+					}
+					out.minPSNR = math.Min(out.minPSNR, p)
+				}
 			}
 			return out, nil
 		})
@@ -292,9 +335,14 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	res.WallSec = now().Sub(wallStart).Seconds()
 
 	verifiedFiles := 0
+	minPSNR := math.Inf(1)
 	for _, v := range *collected {
 		verifiedFiles += v.members
 		res.MaxRelError = math.Max(res.MaxRelError, v.maxRel)
+		minPSNR = math.Min(minPSNR, v.minPSNR)
+	}
+	if mode.measurePSNR {
+		res.MinPSNR = minPSNR
 	}
 	if verifiedFiles != len(fields) {
 		return nil, fmt.Errorf("core: %d members after grouping, want %d", verifiedFiles, len(fields))
@@ -303,6 +351,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	res.CompressedBytes = ps.compressedBytes
 	res.GroupedBytes = ps.groupedBytes
 	res.Groups = len(ps.plan)
+	res.GroupBytes = ps.groupBytes
 	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
 	res.Metadata = grouping.Metadata(ps.names, ps.plan, strategy)
 	res.LinkSec = linkSec

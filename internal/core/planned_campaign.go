@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/planner"
+	"ocelot/internal/quality"
+)
+
+// PlanOptions configures a predictor-driven (adaptive) campaign: the
+// planner's sample→predict→decide pass runs ahead of the pipelined engine
+// and chooses per-field error bounds, predictors, and the grouping knob.
+// The plan's transfer estimates assume the campaign offers the link its
+// full concurrency; leave TransferStreams at 0 (the default resolves it
+// from the transport's hint) unless you want to deliberately starve the
+// link.
+type PlanOptions struct {
+	PipelineOptions
+	// Model is a trained quality model. nil degenerates gracefully: every
+	// field gets the planner's most conservative candidate.
+	Model *quality.Model
+	// Planner tunes the decision pass. Planner.Link defaults to the
+	// simulated transport's link and Planner.Workers to the campaign's
+	// Workers when unset.
+	Planner planner.Options
+}
+
+// resolvedPlanner fills PlanOptions.Planner defaults from the campaign
+// context so callers only state what they want to override.
+func (o PlanOptions) resolvedPlanner() planner.Options {
+	p := o.Planner
+	if p.Workers <= 0 {
+		p.Workers = o.Workers
+	}
+	if p.Link == nil {
+		if st, ok := o.Transport.(*SimulatedWANTransport); ok {
+			p.Link = st.Link
+		}
+	}
+	return p
+}
+
+// PlanCampaign runs only the plan stage: the cheap sampling pass over every
+// field, quality predictions across the candidate grid, and the grouping
+// decision. The returned plan is what RunPlannedCampaign would execute.
+func PlanCampaign(fields []*datagen.Field, opts PlanOptions) (*planner.Plan, error) {
+	return planner.Build(fields, opts.Model, opts.resolvedPlanner())
+}
+
+// RunPlannedCampaign closes the paper's predict-then-transfer loop: it
+// builds a plan (PlanCampaign), then runs the pipelined engine with the
+// plan's per-field configurations and grouping, measuring reconstruction
+// PSNR so the result reports predicted vs. actual ratio, stage seconds,
+// and quality.
+func RunPlannedCampaign(ctx context.Context, fields []*datagen.Field, opts PlanOptions) (*CampaignResult, error) {
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	planStart := now()
+	plan, err := PlanCampaign(fields, opts)
+	if err != nil {
+		return nil, err
+	}
+	planSec := now().Sub(planStart).Seconds()
+
+	transport, streams := resolveTransport(opts.PipelineOptions)
+	copts := opts.CampaignOptions
+	copts.GroupStrategy = plan.GroupStrategy
+	copts.GroupParam = plan.GroupParam
+
+	settings := make([]fieldSetting, len(plan.Fields))
+	for i, fp := range plan.Fields {
+		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor}
+	}
+	res, err := runCampaign(ctx, fields, copts, campaignMode{
+		pipelined:       true,
+		transport:       transport,
+		transferStreams: streams,
+		buffer:          opts.StageBuffer,
+		perField:        settings,
+		measurePSNR:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Planned = true
+	res.PlanSec = planSec
+	res.Plan = plan
+	res.PredRatio = plan.PredRatio
+	res.PredCompressSec = plan.PredCompressSec
+	res.PredTransferSec = plan.PredTransferSec
+	res.PredWallSec = plan.PredWallSec
+	if link := opts.resolvedPlanner().Link; link != nil && len(res.GroupBytes) > 0 {
+		est, err := link.Estimate(res.GroupBytes, opts.Planner.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.LinkEstSec = est.Seconds
+	}
+	return res, nil
+}

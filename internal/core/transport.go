@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ocelot/internal/gridftp"
@@ -21,6 +22,26 @@ type Transport interface {
 	Send(ctx context.Context, name string, data []byte) (seconds float64, err error)
 }
 
+// streamHinter is implemented by transports that know how many archives
+// the underlying link can usefully keep in flight; runCampaign uses it to
+// default PipelineOptions.TransferStreams instead of picking a constant
+// that may disagree with the link's concurrency.
+type streamHinter interface {
+	StreamHint() int
+}
+
+// defaultStreams resolves the TransferStreams default for a transport: the
+// transport's own hint (e.g. the simulated link's concurrency) when it has
+// one, else 4 (the Globus default concurrency).
+func defaultStreams(t Transport) int {
+	if h, ok := t.(streamHinter); ok {
+		if n := h.StreamHint(); n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
 // NopTransport moves bytes instantaneously: the in-process campaign path
 // where source and destination share memory.
 type NopTransport struct{}
@@ -33,17 +54,39 @@ func (NopTransport) Send(ctx context.Context, name string, data []byte) (float64
 	return 0, ctx.Err()
 }
 
-// SimulatedWANTransport paces each archive at a wan.Link's per-channel
-// rate, actually sleeping (scaled by Timescale) so that pipelining overlap
-// is observable in wall time. It is the bridge between the calibrated
-// link models and the real streaming engine.
+// SimulatedWANTransport paces archives over a wan.Link, actually sleeping
+// (scaled by Timescale) so that pipelining overlap is observable in wall
+// time. It is the bridge between the calibrated link models and the real
+// streaming engine.
+//
+// Bandwidth-sharing semantics: the link admits at most Link.Concurrency
+// sends at once — further concurrent Send calls queue until a channel
+// frees — and the sends in flight share Link.BandwidthMBps equally, with
+// every send's pace recomputed whenever one starts or finishes. Aggregate
+// simulated throughput therefore never exceeds the link's bandwidth, no
+// matter how many goroutines (PipelineOptions.TransferStreams) call Send
+// concurrently: extra streams beyond the link's concurrency only deepen
+// the queue. A lone send gets the full link, matching wan.Link.Estimate's
+// treatment of a batch smaller than the channel count.
+//
+// A SimulatedWANTransport carries shared pacing state and must not be
+// copied after first use; campaigns pass it by pointer.
 type SimulatedWANTransport struct {
 	// Link provides bandwidth, concurrency, and per-file overhead.
 	Link *wan.Link
 	// Timescale is wall seconds slept per simulated second (e.g. 1e-3
 	// compresses a 500 s paper-scale transfer into 0.5 s). 0 means real
-	// time; negative disables sleeping entirely (accounting only).
+	// time; negative disables sleeping entirely (accounting only — sends
+	// return instantly, each charged the solo full-link share, overhead +
+	// bytes/BandwidthMBps, matching both a lone paced send and
+	// wan.Link.Estimate's treatment of a batch smaller than the channel
+	// count; without pacing there is no wall-time overlap to share the
+	// link across).
 	Timescale float64
+
+	mu     sync.Mutex
+	active int           // sends currently admitted to the link
+	change chan struct{} // closed and replaced whenever active changes
 }
 
 // Name implements Transport.
@@ -54,9 +97,57 @@ func (t *SimulatedWANTransport) Name() string {
 	return "sim"
 }
 
-// Send implements Transport: it charges the link's per-file overhead plus
-// bandwidth time at the per-channel share, mirroring wan.Link.Estimate for
-// a single file on one channel.
+// StreamHint reports the link's concurrency so campaigns default their
+// transfer streams to what the link can actually carry.
+func (t *SimulatedWANTransport) StreamHint() int {
+	if t.Link == nil {
+		return 0
+	}
+	return t.Link.Concurrency
+}
+
+// bump wakes every send waiting on a membership change. Callers hold mu.
+func (t *SimulatedWANTransport) bump() {
+	if t.change != nil {
+		close(t.change)
+	}
+	t.change = make(chan struct{})
+}
+
+// admit blocks until a link channel is free, honouring ctx.
+func (t *SimulatedWANTransport) admit(ctx context.Context) error {
+	t.mu.Lock()
+	if t.change == nil {
+		t.change = make(chan struct{})
+	}
+	for t.active >= t.Link.Concurrency {
+		ch := t.change
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+		t.mu.Lock()
+	}
+	t.active++
+	t.bump()
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *SimulatedWANTransport) release() {
+	t.mu.Lock()
+	t.active--
+	t.bump()
+	t.mu.Unlock()
+}
+
+// Send implements Transport: it queues for a link channel, charges the
+// per-file overhead, then moves the bytes at the current fair share of the
+// link bandwidth, re-pacing whenever another send joins or leaves the
+// link. The returned seconds are the simulated link time this send took
+// (queueing excluded: a queued send is not using the link).
 func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []byte) (float64, error) {
 	if t.Link == nil {
 		return 0, errors.New("core: simulated transport needs a link")
@@ -64,22 +155,73 @@ func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []by
 	if err := t.Link.Validate(); err != nil {
 		return 0, err
 	}
-	perChannelMBps := t.Link.BandwidthMBps / float64(t.Link.Concurrency)
-	sec := t.Link.PerFileOverheadSec + float64(len(data))/1e6/perChannelMBps
 	scale := t.Timescale
 	if scale == 0 {
 		scale = 1
 	}
-	if scale > 0 {
-		timer := time.NewTimer(time.Duration(sec * scale * float64(time.Second)))
-		defer timer.Stop()
+	if scale < 0 {
+		// Accounting only: no sleeping means sends never overlap in wall
+		// time, so each is charged as the fluid model would charge a lone
+		// send — the full link share.
+		return t.Link.PerFileOverheadSec + float64(len(data))/1e6/t.Link.BandwidthMBps, ctx.Err()
+	}
+
+	if err := t.admit(ctx); err != nil {
+		return 0, err
+	}
+	defer t.release()
+
+	simSec := t.Link.PerFileOverheadSec
+	if err := sleepScaled(ctx, t.Link.PerFileOverheadSec, scale); err != nil {
+		return 0, err
+	}
+	remainingMB := float64(len(data)) / 1e6
+	for remainingMB > 1e-12 {
+		t.mu.Lock()
+		sharing := t.active
+		ch := t.change
+		t.mu.Unlock()
+		if sharing < 1 {
+			sharing = 1
+		}
+		rate := t.Link.BandwidthMBps / float64(sharing) // MB per simulated second
+		need := remainingMB / rate
+		start := time.Now()
+		timer := time.NewTimer(time.Duration(need * scale * float64(time.Second)))
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return 0, ctx.Err()
 		case <-timer.C:
+			simSec += need
+			remainingMB = 0
+		case <-ch:
+			timer.Stop()
+			elapsedSim := time.Since(start).Seconds() / scale
+			if elapsedSim > need {
+				elapsedSim = need
+			}
+			simSec += elapsedSim
+			remainingMB -= elapsedSim * rate
 		}
 	}
-	return sec, nil
+	return simSec, nil
+}
+
+// sleepScaled sleeps sec simulated seconds at the given timescale,
+// honouring ctx.
+func sleepScaled(ctx context.Context, sec, scale float64) error {
+	if sec <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(time.Duration(sec * scale * float64(time.Second)))
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // GridFTPTransport ships archives over the repo's real wire protocol

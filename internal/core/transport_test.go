@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"ocelot/internal/wan"
+)
+
+// TestSimulatedTransportAggregateThroughput is the headline regression for
+// the bandwidth-accounting bug: however many goroutines call Send
+// concurrently, bytes must not move faster than the link's aggregate
+// bandwidth. Before the fix, each send was paced at BandwidthMBps /
+// Concurrency regardless of how many sends were in flight, so 16 streams
+// on a concurrency-4 link simulated 4x the link's capacity.
+func TestSimulatedTransportAggregateThroughput(t *testing.T) {
+	const (
+		bwMBps  = 1000.0
+		scale   = 10.0 // wall seconds per simulated second: magnifies pacing
+		archive = 1 << 21
+	)
+	for _, streams := range []int{1, 4, 16} {
+		streams := streams
+		t.Run(map[int]string{1: "streams=1", 4: "streams=4", 16: "streams=16"}[streams], func(t *testing.T) {
+			t.Parallel()
+			tr := &SimulatedWANTransport{
+				Link:      &wan.Link{Name: "t", BandwidthMBps: bwMBps, Concurrency: 4},
+				Timescale: scale,
+			}
+			data := make([]byte, archive)
+			var wg sync.WaitGroup
+			errs := make([]error, streams)
+			start := time.Now()
+			for i := 0; i < streams; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, errs[i] = tr.Send(context.Background(), "a", data)
+				}(i)
+			}
+			wg.Wait()
+			wallSec := time.Since(start).Seconds()
+			for _, err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			simSec := wallSec / scale
+			totalMB := float64(streams) * float64(archive) / 1e6
+			throughput := totalMB / simSec
+			// Sleeps only ever run long, so measured throughput can only
+			// fall below nominal; any excess means the pacing bug is back.
+			if throughput > bwMBps*1.02 {
+				t.Errorf("aggregate simulated throughput %.0f MB/s exceeds link bandwidth %.0f MB/s",
+					throughput, bwMBps)
+			}
+			// Guard the other direction loosely: the link should still be
+			// substantially used (catches accidental serialization at the
+			// old per-channel rate).
+			if streams >= 4 && throughput < bwMBps*0.5 {
+				t.Errorf("aggregate simulated throughput %.0f MB/s is under half the link bandwidth", throughput)
+			}
+		})
+	}
+}
+
+// A lone send owns the whole link, matching wan.Link.Estimate for a batch
+// smaller than the channel count.
+func TestSimulatedTransportSoloSendFullBandwidth(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link:      &wan.Link{BandwidthMBps: 500, PerFileOverheadSec: 0.01, Concurrency: 8},
+		Timescale: 1e-3,
+	}
+	data := make([]byte, 4<<20)
+	sec, err := tr.Send(context.Background(), "a", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.01 + float64(len(data))/1e6/500
+	if math.Abs(sec-want) > 1e-6 {
+		t.Errorf("solo send charged %.6fs, want %.6fs (full link share)", sec, want)
+	}
+}
+
+// Accounting-only mode (negative timescale) charges the solo full-link
+// share — matching both a lone paced send and wan.Link.Estimate for a
+// small batch — and returns immediately.
+func TestSimulatedTransportAccountingOnly(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link:      &wan.Link{BandwidthMBps: 800, PerFileOverheadSec: 0.02, Concurrency: 4},
+		Timescale: -1,
+	}
+	data := make([]byte, 2<<20)
+	start := time.Now()
+	sec, err := tr.Send(context.Background(), "a", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start).Seconds(); wall > 0.05 {
+		t.Errorf("accounting-only send slept %.3fs", wall)
+	}
+	want := 0.02 + float64(len(data))/1e6/800.0
+	if math.Abs(sec-want) > 1e-6 {
+		t.Errorf("accounting-only send charged %.6fs, want %.6fs", sec, want)
+	}
+}
+
+// Cancellation must release the link channel so later sends proceed.
+func TestSimulatedTransportCancellation(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link:      &wan.Link{BandwidthMBps: 1, Concurrency: 1},
+		Timescale: 1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Send(ctx, "slow", make([]byte, 8<<20)); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	tr.Timescale = -1
+	if _, err := tr.Send(context.Background(), "next", []byte{1}); err != nil {
+		t.Fatalf("link channel not released after cancellation: %v", err)
+	}
+}
+
+// TransferStreams must default to the link's concurrency, not a constant
+// chosen independently of it.
+func TestTransferStreamsDefaultFollowsLinkConcurrency(t *testing.T) {
+	fields := pipelineFields(t, 4, 40)
+	link := &wan.Link{BandwidthMBps: 4000, Concurrency: 3}
+	res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+		CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 2, GroupParam: 2},
+		Transport:       &SimulatedWANTransport{Link: link, Timescale: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Stages {
+		if s.Name == "transfer" && s.Workers != link.Concurrency {
+			t.Errorf("transfer stage ran %d workers, want link concurrency %d", s.Workers, link.Concurrency)
+		}
+	}
+	// A transport without a hint keeps the Globus default of 4.
+	if got := defaultStreams(NopTransport{}); got != 4 {
+		t.Errorf("defaultStreams(nop) = %d, want 4", got)
+	}
+	if got := defaultStreams(&SimulatedWANTransport{Link: link}); got != 3 {
+		t.Errorf("defaultStreams(sim) = %d, want 3", got)
+	}
+}

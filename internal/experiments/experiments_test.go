@@ -239,3 +239,33 @@ func TestFig16(t *testing.T) {
 			res.Values["RTM/Anvil->Bebop/speedup"], res.Values["RTM/Anvil->Cori/speedup"])
 	}
 }
+
+func TestPlanner(t *testing.T) {
+	res, err := Planner(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["adaptive_e2e_sec"] > res.Values["fixed_e2e_sec"]*1.05 {
+		t.Errorf("adaptive campaign end-to-end (%.4fs) worse than the fixed baseline (%.4fs)",
+			res.Values["adaptive_e2e_sec"], res.Values["fixed_e2e_sec"])
+	}
+	if res.Values["adaptive_xfer_sec"] > res.Values["fixed_xfer_sec"]*1.05 {
+		t.Errorf("adaptive transfer makespan (%.4fs) worse than the fixed baseline (%.4fs)",
+			res.Values["adaptive_xfer_sec"], res.Values["fixed_xfer_sec"])
+	}
+	// The workload's floor separates fields, so the adaptive plan must
+	// strictly beat the global bound on bytes moved at the same floor.
+	if res.Values["adaptive_bytes"] >= res.Values["fixed_bytes"] {
+		t.Errorf("adaptive moved %.0f bytes, fixed baseline %.0f — no win from per-field bounds",
+			res.Values["adaptive_bytes"], res.Values["fixed_bytes"])
+	}
+	if res.Values["adaptive_min_psnr"] < 66 {
+		t.Errorf("adaptive min PSNR %.1f dB far below the 76 dB floor", res.Values["adaptive_min_psnr"])
+	}
+	if res.Values["adaptive_pred_ratio"] <= 0 || res.Values["adaptive_ratio"] <= 0 {
+		t.Error("predicted-vs-actual ratio missing from the artifact")
+	}
+	if !strings.Contains(res.Text, "predicted vs actual") {
+		t.Error("artifact text missing the predicted-vs-actual line")
+	}
+}

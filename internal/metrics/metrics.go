@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sort"
 )
 
 // ErrLengthMismatch indicates two slices of different lengths were compared.
@@ -156,7 +157,11 @@ func ByteEntropy(data []float64, elementSize int) float64 {
 }
 
 // SymbolEntropy computes the Shannon entropy (bits/symbol) of an integer
-// symbol stream, used for the quantization-entropy feature.
+// symbol stream, used for the quantization-entropy feature. Accumulation
+// runs in sorted-symbol order: floating-point summation order must be
+// deterministic, because downstream decision-tree training amplifies
+// ULP-level feature differences into different split structures (and a
+// map-ordered sum made identical inputs train different models).
 func SymbolEntropy(symbols []int) float64 {
 	if len(symbols) == 0 {
 		return 0
@@ -165,10 +170,15 @@ func SymbolEntropy(symbols []int) float64 {
 	for _, s := range symbols {
 		counts[s]++
 	}
+	syms := make([]int, 0, len(counts))
+	for s := range counts {
+		syms = append(syms, s)
+	}
+	sort.Ints(syms)
 	var h float64
 	ft := float64(len(symbols))
-	for _, c := range counts {
-		p := float64(c) / ft
+	for _, s := range syms {
+		p := float64(counts[s]) / ft
 		h -= p * math.Log2(p)
 	}
 	return h

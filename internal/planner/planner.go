@@ -1,0 +1,483 @@
+// Package planner closes the paper's sample → predict → decide loop
+// (Section VI + VII): before a campaign commits to a configuration, the
+// planner runs the quality predictor's cheap sampling pass over every
+// field, predicts compression ratio / speed / PSNR across a candidate grid
+// of (error bound × predictor) configurations, combines the predictions
+// with the WAN link model, and emits a Plan — a per-field sz configuration
+// plus a grouping decision — that minimizes predicted end-to-end seconds
+// subject to a quality floor. Configuration becomes a decision the system
+// takes, not an input the user guesses.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/dtree"
+	"ocelot/internal/grouping"
+	"ocelot/internal/quality"
+	"ocelot/internal/sz"
+	"ocelot/internal/wan"
+)
+
+// Candidate is one configuration the planner may assign to a field.
+type Candidate struct {
+	// RelEB is the value-range-relative error bound.
+	RelEB float64
+	// Predictor selects the SZ pipeline; 0 means interp.
+	Predictor sz.Predictor
+}
+
+// DefaultCandidates spans four decades of relative error bound in
+// half-decade steps for both the interpolation (high-ratio) and Lorenzo
+// (high-speed) pipelines — the grid the paper's Section VI predictor is
+// evaluated over. Half-decade resolution matters: PSNR moves ~10 dB per
+// half-decade of bound, so a coarser grid would park every field on the
+// same side of any quality floor.
+func DefaultCandidates() []Candidate {
+	ebs := []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+	out := make([]Candidate, 0, 2*len(ebs))
+	for _, p := range []sz.Predictor{sz.PredictorInterp, sz.PredictorLorenzo} {
+		for _, eb := range ebs {
+			out = append(out, Candidate{RelEB: eb, Predictor: p})
+		}
+	}
+	return out
+}
+
+// Options tunes the planning pass.
+type Options struct {
+	// Candidates is the configuration grid; nil selects DefaultCandidates.
+	Candidates []Candidate
+	// MinPSNR is the quality floor in dB: a candidate whose predicted PSNR
+	// falls below it is infeasible for that field. 0 disables the floor.
+	MinPSNR float64
+	// MaxRelEB caps the relative error bound any field may be assigned
+	// (the alternative quality floor); 0 disables the cap.
+	MaxRelEB float64
+	// Link models the WAN the campaign will cross; nil plans on
+	// compression cost alone (no transfer term, no grouping search).
+	Link *wan.Link
+	// Workers is the compression parallelism assumed when converting
+	// per-field compression seconds into campaign wall time; ≤ 0 means 4.
+	Workers int
+	// GroupCounts are the by-world-size group counts evaluated for the
+	// grouping decision; nil tries {1, Workers, 2·Workers, nFields}.
+	GroupCounts []int
+	// Seed drives the link estimate's deterministic jitter.
+	Seed int64
+}
+
+// FieldPlan is the planner's decision for one field.
+type FieldPlan struct {
+	Field     string       `json:"field"`
+	RelEB     float64      `json:"relEb"`
+	Predictor sz.Predictor `json:"predictor"`
+	RawBytes  int64        `json:"rawBytes"`
+
+	// Predictions for the chosen configuration (zero when Fallback).
+	PredRatio float64 `json:"predRatio"`
+	PredPSNR  float64 `json:"predPsnr"`
+	PredSec   float64 `json:"predSec"`   // single-worker compression seconds
+	PredBytes int64   `json:"predBytes"` // predicted compressed size
+
+	// Fallback marks a decision made without (or against) the model: an
+	// untrained predictor, or no candidate meeting the quality floor.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// Plan is a complete campaign decision: per-field configurations plus the
+// grouping strategy, with the predicted end-to-end accounting the decision
+// was based on.
+type Plan struct {
+	Fields        []FieldPlan       `json:"fields"`
+	GroupStrategy grouping.Strategy `json:"groupStrategy"`
+	GroupParam    int64             `json:"groupParam"`
+	MinPSNR       float64           `json:"minPsnr,omitempty"`
+
+	RawBytes        int64   `json:"rawBytes"`
+	PredBytes       int64   `json:"predBytes"`
+	PredRatio       float64 `json:"predRatio"`
+	PredCompressSec float64 `json:"predCompressSec"` // Workers-parallel wall
+	PredTransferSec float64 `json:"predTransferSec"` // grouped archives over Link
+	// PredWallSec approximates the pipelined engine's end-to-end wall with
+	// the plan's group count G: the longer stage runs in full and the
+	// shorter hides inside it except for its first/last group,
+	// max(C, T) + min(C, T)/G — fully serial at G=1, fully overlapped as
+	// G grows. The grouping decision minimizes exactly this quantity.
+	PredWallSec float64 `json:"predWallSec"`
+}
+
+// Config materializes the sz.Config for field i: a range-relative bound at
+// the planned RelEB with the planned predictor.
+func (p *Plan) Config(i int) sz.Config {
+	fp := p.Fields[i]
+	cfg := sz.DefaultConfig(fp.RelEB)
+	cfg.BoundMode = sz.BoundRelative
+	cfg.Predictor = fp.Predictor
+	return cfg
+}
+
+// String renders the plan as the per-field decision table the CLI prints.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-22s %10s %12s %10s %10s %10s\n",
+		"field", "rel-eb", "predictor", "ratio", "PSNR(dB)", "comp(s)"))
+	for _, fp := range p.Fields {
+		note := ""
+		if fp.Fallback {
+			note = "  (fallback)"
+		}
+		sb.WriteString(fmt.Sprintf("%-22s %10.0e %12s %10.1f %10.1f %10.3f%s\n",
+			fp.Field, fp.RelEB, fp.Predictor, fp.PredRatio, fp.PredPSNR, fp.PredSec, note))
+	}
+	sb.WriteString(fmt.Sprintf("grouping: %s param=%d\n", p.GroupStrategy, p.GroupParam))
+	sb.WriteString(fmt.Sprintf("predicted: %.1f MB -> %.1f MB (ratio %.1f), compress %.2fs, transfer %.2fs, wall %.2fs\n",
+		float64(p.RawBytes)/1e6, float64(p.PredBytes)/1e6, p.PredRatio,
+		p.PredCompressSec, p.PredTransferSec, p.PredWallSec))
+	return sb.String()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Candidates == nil {
+		o.Candidates = DefaultCandidates()
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// feasibleCandidates filters the grid by the MaxRelEB cap, sorted by
+// ascending bound so "most conservative" is always index 0.
+func feasibleCandidates(opts Options) ([]Candidate, error) {
+	cands := make([]Candidate, 0, len(opts.Candidates))
+	for _, c := range opts.Candidates {
+		if c.RelEB <= 0 {
+			return nil, fmt.Errorf("planner: non-positive candidate bound %g", c.RelEB)
+		}
+		if opts.MaxRelEB > 0 && c.RelEB > opts.MaxRelEB {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("planner: no candidates under the MaxRelEB cap")
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].RelEB < cands[j].RelEB })
+	return cands, nil
+}
+
+// Build runs the sample→predict→decide pass and returns the campaign plan.
+//
+// With a trained model, every field is scored across the candidate grid by
+// the model's ratio/speed/PSNR predictions and assigned the feasible
+// candidate minimizing its predicted contribution to end-to-end time
+// (compression share plus bandwidth share). With a nil model — or when the
+// quality floor requires a PSNR tree the model lacks — the planner
+// degenerates gracefully: the field gets the most conservative candidate
+// (smallest relative bound) and is marked Fallback, so an untrained
+// deployment is never less safe than the fixed-bound default.
+func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, error) {
+	if len(fields) == 0 {
+		return nil, errors.New("planner: no fields")
+	}
+	opts = opts.withDefaults()
+	cands, err := feasibleCandidates(opts)
+	if err != nil {
+		return nil, err
+	}
+	canScore := model != nil
+	canFloor := opts.MinPSNR <= 0 || (model != nil && model.PSNR != nil)
+
+	plan := &Plan{
+		Fields:        make([]FieldPlan, len(fields)),
+		GroupStrategy: grouping.ByWorldSize,
+		MinPSNR:       opts.MinPSNR,
+	}
+	predSizes := make([]int64, len(fields))
+	for i, f := range fields {
+		raw := int64(f.RawBytes())
+		plan.RawBytes += raw
+		fp := FieldPlan{Field: f.ID(), RawBytes: raw}
+
+		if !canScore || !canFloor {
+			// No usable model: most conservative candidate, no predictions.
+			fp.RelEB, fp.Predictor = cands[0].RelEB, normPred(cands[0].Predictor)
+			fp.Fallback = true
+			fp.PredBytes = raw
+			plan.Fields[i] = fp
+			predSizes[i] = raw
+			continue
+		}
+
+		best := -1
+		bestScore := math.Inf(1)
+		var bestEst, floorEst *quality.Estimate
+		floorIdx, floorPSNR := -1, math.Inf(-1)
+		// Sparse trees can predict a *lower* ratio, *slower* compression,
+		// or *higher* PSNR at a looser bound — all physically impossible
+		// for this compressor family. Repair predictions to be monotone in
+		// the bound (cands is sorted ascending) so training noise can
+		// never trick the planner into assigning a tighter bound while
+		// predicting it cheaper, or let a loose bound game the PSNR floor
+		// by out-predicting a tighter one.
+		monoRatio := map[sz.Predictor]float64{}
+		monoSec := map[sz.Predictor]float64{}
+		monoPSNR := map[sz.Predictor]float64{}
+		for ci, c := range cands {
+			est, err := model.EstimateField(f.Data, f.Dims, c.RelEB, c.Predictor)
+			if err != nil {
+				return nil, fmt.Errorf("planner: estimate %s @%g: %w", f.ID(), c.RelEB, err)
+			}
+			p := normPred(c.Predictor)
+			if prev, ok := monoRatio[p]; ok && est.Ratio < prev {
+				est.Ratio = prev
+			}
+			monoRatio[p] = est.Ratio
+			if prev, ok := monoSec[p]; ok && est.Seconds > prev {
+				est.Seconds = prev
+			}
+			monoSec[p] = est.Seconds
+			if prev, ok := monoPSNR[p]; ok && est.PSNR > prev {
+				est.PSNR = prev
+			}
+			monoPSNR[p] = est.PSNR
+			if est.PSNR > floorPSNR {
+				floorIdx, floorPSNR, floorEst = ci, est.PSNR, est
+			}
+			if opts.MinPSNR > 0 && est.PSNR < opts.MinPSNR {
+				continue
+			}
+			score := scoreCandidate(est, raw, opts)
+			// Ties (tree plateaus make them common) resolve to the looser
+			// bound: same predicted cost, more quality headroom given away
+			// for nothing otherwise.
+			better := score < bestScore*(1-1e-9)
+			tied := !better && score <= bestScore*(1+1e-9)
+			if better || (tied && best >= 0 && c.RelEB > cands[best].RelEB) {
+				best, bestScore, bestEst = ci, math.Min(bestScore, score), est
+			}
+		}
+		if best < 0 {
+			// No candidate meets the floor even by prediction: take the
+			// candidate predicted closest to it and flag the compromise.
+			best, bestEst = floorIdx, floorEst
+			fp.Fallback = true
+		}
+		fp.RelEB, fp.Predictor = cands[best].RelEB, normPred(cands[best].Predictor)
+		fp.PredRatio = bestEst.Ratio
+		fp.PredPSNR = bestEst.PSNR
+		fp.PredSec = bestEst.Seconds
+		fp.PredBytes = predBytes(raw, bestEst.Ratio)
+		plan.Fields[i] = fp
+		predSizes[i] = fp.PredBytes
+	}
+
+	// Campaign-level accounting + the grouping decision.
+	var sumSec float64
+	for _, fp := range plan.Fields {
+		plan.PredBytes += fp.PredBytes
+		sumSec += fp.PredSec
+	}
+	plan.PredCompressSec = sumSec / float64(opts.Workers)
+	if plan.PredBytes > 0 {
+		plan.PredRatio = float64(plan.RawBytes) / float64(plan.PredBytes)
+	}
+	if err := decideGrouping(plan, predSizes, opts); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// scoreCandidate is the per-field share of predicted end-to-end seconds:
+// its compression time divided across the workers, plus its bytes at the
+// link's aggregate bandwidth. Per-file WAN overhead is deliberately left
+// out here — grouping amortizes it, and decideGrouping accounts for it on
+// the realized archives.
+func scoreCandidate(est *quality.Estimate, rawBytes int64, opts Options) float64 {
+	score := est.Seconds / float64(opts.Workers)
+	if opts.Link != nil {
+		score += float64(predBytes(rawBytes, est.Ratio)) / 1e6 / opts.Link.BandwidthMBps
+	}
+	return score
+}
+
+// normPred resolves the candidate convention that a zero predictor means
+// interp, so plans always record the pipeline that actually runs.
+func normPred(p sz.Predictor) sz.Predictor {
+	if p == 0 {
+		return sz.PredictorInterp
+	}
+	return p
+}
+
+// predBytes converts a predicted ratio into a predicted compressed size.
+func predBytes(raw int64, ratio float64) int64 {
+	if ratio <= 1 {
+		return raw
+	}
+	b := int64(float64(raw) / ratio)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// decideGrouping chooses the group count minimizing the predicted
+// pipelined wall, making the grouping knob part of the plan. For each
+// candidate count it estimates the transfer makespan T(G) over the
+// predicted archive sizes with the link model, then scores the pipelined
+// wall max(C, T) + min(C, T)/G: one archive (G=1) serializes compression
+// and transfer, while more archives let the shorter stage hide inside the
+// longer — at the cost of per-archive WAN overhead, which T(G) already
+// charges. Ties resolve to the larger count (more overlap headroom).
+// Without a link the compute-parallel default (one group per worker) is
+// used and the plan predicts no transfer time.
+func decideGrouping(plan *Plan, predSizes []int64, opts Options) error {
+	n := len(predSizes)
+	if opts.Link == nil {
+		plan.GroupParam = int64(min(opts.Workers, n))
+		plan.PredWallSec = plan.PredCompressSec
+		return nil
+	}
+	counts := opts.GroupCounts
+	if len(counts) == 0 {
+		counts = []int{1, opts.Workers, 2 * opts.Workers, n}
+	}
+	tried := map[int]bool{}
+	bestWall := math.Inf(1)
+	for _, g := range counts {
+		if g < 1 {
+			g = 1
+		}
+		if g > n {
+			g = n
+		}
+		if tried[g] {
+			continue
+		}
+		tried[g] = true
+		idxPlan, err := grouping.Plan(predSizes, grouping.ByWorldSize, int64(g))
+		if err != nil {
+			return fmt.Errorf("planner: grouping %d: %w", g, err)
+		}
+		est, err := opts.Link.Estimate(grouping.GroupSizes(predSizes, idxPlan), opts.Seed)
+		if err != nil {
+			return err
+		}
+		c, tr := plan.PredCompressSec, est.Seconds
+		wall := math.Max(c, tr) + math.Min(c, tr)/float64(g)
+		better := wall < bestWall*(1-1e-9)
+		tied := !better && wall <= bestWall*(1+1e-9)
+		if better || (tied && int64(g) > plan.GroupParam) {
+			bestWall = math.Min(bestWall, wall)
+			plan.GroupParam = int64(g)
+			plan.PredTransferSec = tr
+			plan.PredWallSec = wall
+		}
+	}
+	return nil
+}
+
+// FixedBaseline returns the largest candidate relative error bound whose
+// predicted PSNR meets the quality floor for every field — the best a
+// single global-bound campaign can do under the same constraint, and the
+// honest baseline an adaptive plan is compared against. With no usable
+// model or floor it returns the most conservative candidate bound.
+func FixedBaseline(fields []*datagen.Field, model *quality.Model, opts Options) (float64, error) {
+	if len(fields) == 0 {
+		return 0, errors.New("planner: no fields")
+	}
+	opts = opts.withDefaults()
+	cands, err := feasibleCandidates(opts)
+	if err != nil {
+		return 0, err
+	}
+	// Distinct bounds, descending.
+	bounds := make([]float64, 0, len(cands))
+	for _, c := range cands {
+		if len(bounds) == 0 || bounds[len(bounds)-1] != c.RelEB {
+			bounds = append(bounds, c.RelEB)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(bounds)))
+	if opts.MinPSNR <= 0 || model == nil || model.PSNR == nil {
+		return bounds[len(bounds)-1], nil
+	}
+	for _, eb := range bounds {
+		ok := true
+		for _, f := range fields {
+			est, err := model.EstimateField(f.Data, f.Dims, eb, 0)
+			if err != nil {
+				return 0, err
+			}
+			if est.PSNR < opts.MinPSNR {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return eb, nil
+		}
+	}
+	return bounds[len(bounds)-1], nil
+}
+
+// TrainFromSweep collects ground truth for every distinct predictor and
+// error bound in the candidate grid over the training fields (with PSNR,
+// since the floor needs it) and fits the quality model — the "train one
+// from a quick sweep" path when no pre-trained predictor is available.
+// Training fields are typically shrunken stand-ins; the features
+// generalize across scales. The ratio and PSNR trees are deterministic in
+// the inputs; the time tree regresses *measured* compression seconds, so
+// two sweeps can legitimately differ there and near-tied speed choices
+// (e.g. lorenzo vs interp at the same bound) may flip between runs.
+func TrainFromSweep(train []*datagen.Field, candidates []Candidate, params dtree.Params) (*quality.Model, error) {
+	if candidates == nil {
+		candidates = DefaultCandidates()
+	}
+	byPred := map[sz.Predictor][]float64{}
+	for _, c := range candidates {
+		p := c.Predictor
+		if p == 0 {
+			p = sz.PredictorInterp
+		}
+		byPred[p] = append(byPred[p], c.RelEB)
+	}
+	// Deterministic predictor order: sample order feeds the tree trainer,
+	// whose tie-breaks depend on it, and plans must reproduce run to run.
+	preds := make([]sz.Predictor, 0, len(byPred))
+	for p := range byPred {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	var samples []quality.Sample
+	for _, p := range preds {
+		ebs := byPred[p]
+		sort.Float64s(ebs)
+		dedup := ebs[:0]
+		for _, eb := range ebs {
+			if len(dedup) == 0 || dedup[len(dedup)-1] != eb {
+				dedup = append(dedup, eb)
+			}
+		}
+		s, err := quality.Collect(train, quality.CollectOptions{
+			ErrorBounds: dedup,
+			Predictor:   p,
+			WithPSNR:    true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, s...)
+	}
+	if params.MaxDepth == 0 {
+		params.MaxDepth = 14
+	}
+	return quality.Train(samples, params)
+}

@@ -1,0 +1,210 @@
+package planner
+
+import (
+	"testing"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/dtree"
+	"ocelot/internal/quality"
+	"ocelot/internal/sz"
+	"ocelot/internal/wan"
+)
+
+// plannerFields builds a small mixed workload: smooth climate fields next
+// to noisier hurricane fields.
+func plannerFields(t testing.TB, shrink int, seed int64) []*datagen.Field {
+	t.Helper()
+	specs := []struct{ app, field string }{
+		{"CESM", "TMQ"},
+		{"CESM", "FLDSC"},
+		{"ISABEL", "Pf48"},
+		{"ISABEL", "QVAPORf48"},
+	}
+	fields := make([]*datagen.Field, 0, len(specs))
+	for _, sp := range specs {
+		f, err := datagen.Generate(sp.app, sp.field, shrink, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields = append(fields, f)
+	}
+	return fields
+}
+
+// testCandidates keeps the sweep small so training stays fast in tests.
+func testCandidates() []Candidate {
+	return []Candidate{
+		{RelEB: 1e-4, Predictor: sz.PredictorInterp},
+		{RelEB: 1e-3, Predictor: sz.PredictorInterp},
+		{RelEB: 1e-2, Predictor: sz.PredictorInterp},
+	}
+}
+
+func trainedModel(t testing.TB, cands []Candidate) *quality.Model {
+	t.Helper()
+	m, err := TrainFromSweep(plannerFields(t, 64, 9), cands, dtree.Params{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PSNR == nil {
+		t.Fatal("sweep training produced no PSNR tree")
+	}
+	return m
+}
+
+func testLink() *wan.Link {
+	return &wan.Link{Name: "t", BandwidthMBps: 1000, PerFileOverheadSec: 0.02, Concurrency: 4}
+}
+
+func TestPlanRespectsQualityFloor(t *testing.T) {
+	cands := testCandidates()
+	model := trainedModel(t, cands)
+	fields := plannerFields(t, 48, 3)
+	const floor = 70.0
+	plan, err := Build(fields, model, Options{
+		Candidates: cands,
+		MinPSNR:    floor,
+		Link:       testLink(),
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Fields) != len(fields) {
+		t.Fatalf("%d field plans for %d fields", len(plan.Fields), len(fields))
+	}
+	for _, fp := range plan.Fields {
+		if fp.Fallback {
+			continue // no candidate met the floor; flagged, not hidden
+		}
+		if fp.PredPSNR < floor {
+			t.Errorf("%s: predicted PSNR %.1f below floor %.1f", fp.Field, fp.PredPSNR, floor)
+		}
+		found := false
+		for _, c := range cands {
+			if c.RelEB == fp.RelEB {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: assigned bound %g not in the candidate grid", fp.Field, fp.RelEB)
+		}
+	}
+	if plan.GroupParam < 1 || plan.GroupParam > int64(len(fields)) {
+		t.Errorf("group param %d outside [1, %d]", plan.GroupParam, len(fields))
+	}
+	if plan.PredTransferSec <= 0 || plan.PredWallSec <= 0 {
+		t.Errorf("plan missing transfer/wall predictions: %+v", plan)
+	}
+}
+
+// A tighter floor must never loosen any field's bound.
+func TestPlanFloorMonotonicity(t *testing.T) {
+	cands := testCandidates()
+	model := trainedModel(t, cands)
+	fields := plannerFields(t, 48, 3)
+	loose, err := Build(fields, model, Options{Candidates: cands, MinPSNR: 50, Link: testLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Build(fields, model, Options{Candidates: cands, MinPSNR: 90, Link: testLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fields {
+		if tight.Fields[i].RelEB > loose.Fields[i].RelEB {
+			t.Errorf("%s: floor 90 assigned %g, looser than floor 50's %g",
+				fields[i].ID(), tight.Fields[i].RelEB, loose.Fields[i].RelEB)
+		}
+	}
+}
+
+// With no trained model the planner must degenerate gracefully: every
+// field gets the most conservative candidate, flagged as fallback.
+func TestPlanUntrainedModelFallsBack(t *testing.T) {
+	cands := testCandidates()
+	fields := plannerFields(t, 64, 3)
+	plan, err := Build(fields, nil, Options{Candidates: cands, MinPSNR: 70, Link: testLink()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range plan.Fields {
+		if !fp.Fallback {
+			t.Errorf("%s: not marked fallback without a model", fp.Field)
+		}
+		if fp.RelEB != 1e-4 {
+			t.Errorf("%s: fallback bound %g, want most conservative 1e-4", fp.Field, fp.RelEB)
+		}
+	}
+	// A PSNR floor with a PSNR-less model is equally unservable.
+	noPSNR, err := TrainFromSweep(plannerFields(t, 64, 9), cands, dtree.Params{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPSNR.PSNR = nil
+	plan2, err := Build(fields, noPSNR, Options{Candidates: cands, MinPSNR: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range plan2.Fields {
+		if !fp.Fallback || fp.RelEB != 1e-4 {
+			t.Errorf("%s: PSNR-less model under a floor must fall back conservatively (got eb=%g fallback=%v)",
+				fp.Field, fp.RelEB, fp.Fallback)
+		}
+	}
+}
+
+func TestPlanMaxRelEBCap(t *testing.T) {
+	fields := plannerFields(t, 64, 3)
+	plan, err := Build(fields, nil, Options{Candidates: testCandidates(), MaxRelEB: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range plan.Fields {
+		if fp.RelEB > 5e-3 {
+			t.Errorf("%s: bound %g exceeds the cap", fp.Field, fp.RelEB)
+		}
+	}
+	if _, err := Build(fields, nil, Options{Candidates: testCandidates(), MaxRelEB: 1e-6}); err == nil {
+		t.Error("cap below every candidate must error, not silently plan")
+	}
+}
+
+func TestFixedBaseline(t *testing.T) {
+	cands := testCandidates()
+	fields := plannerFields(t, 48, 3)
+	// Without a usable model: most conservative bound.
+	eb, err := FixedBaseline(fields, nil, Options{Candidates: cands, MinPSNR: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 1e-4 {
+		t.Errorf("model-less baseline %g, want 1e-4", eb)
+	}
+	// Without a floor the baseline stays at the most conservative bound.
+	model := trainedModel(t, cands)
+	eb, err = FixedBaseline(fields, model, Options{Candidates: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 1e-4 {
+		t.Errorf("floor-less baseline %g, want most conservative 1e-4", eb)
+	}
+	// With a floor: the chosen global bound must be predicted feasible for
+	// every field, or be the tightest candidate available.
+	eb, err = FixedBaseline(fields, model, Options{Candidates: cands, MinPSNR: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb != 1e-4 {
+		for _, f := range fields {
+			est, err := model.EstimateField(f.Data, f.Dims, eb, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.PSNR < 70 {
+				t.Errorf("%s: baseline bound %g predicted below the floor (%.1f dB)", f.ID(), eb, est.PSNR)
+			}
+		}
+	}
+}

@@ -105,23 +105,7 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 	if len(data) == 0 {
 		return nil, nil, fmt.Errorf("sz: empty input")
 	}
-	absEB := cfg.ErrorBound
-	if cfg.BoundMode == BoundRelative {
-		lo, hi := data[0], data[0]
-		for _, v := range data {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		rng := hi - lo
-		if rng <= 0 || math.IsNaN(rng) || math.IsInf(rng, 0) {
-			rng = 1
-		}
-		absEB = cfg.ErrorBound * rng
-	}
+	absEB := cfg.AbsoluteBound(data)
 	q := quant.New(absEB, cfg.Radius)
 	c := &codec{
 		q:     q,

@@ -14,6 +14,7 @@ package sz
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"ocelot/internal/lossless"
 )
@@ -131,6 +132,33 @@ func DefaultConfig(eb float64) Config {
 		Interp:     InterpCubic,
 		Backend:    lossless.Deflate,
 	}
+}
+
+// AbsoluteBound resolves the configured error bound against data: with
+// BoundAbsolute it is ErrorBound itself; with BoundRelative it is
+// ErrorBound × the data's value range, falling back to a range of 1 for
+// constant, empty, or non-finite data. Compress and SampledCodes both
+// resolve through this helper, so the predictor's cheap feature pass
+// quantizes at exactly the bound the real compression run uses — including
+// on degenerate fields.
+func (c Config) AbsoluteBound(data []float64) float64 {
+	if c.BoundMode != BoundRelative || len(data) == 0 {
+		return c.ErrorBound
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	rng := hi - lo
+	if rng <= 0 || math.IsNaN(rng) || math.IsInf(rng, 0) {
+		rng = 1
+	}
+	return c.ErrorBound * rng
 }
 
 // withDefaults fills zero fields with defaults and validates.

@@ -26,22 +26,7 @@ func SampledCodes(data []float64, dims []int, cfg Config, sampleStride int) ([]i
 	if sampleStride < 1 {
 		sampleStride = 1
 	}
-	absEB := cfg.ErrorBound
-	if cfg.BoundMode == BoundRelative {
-		lo, hi := data[0], data[0]
-		for _, v := range data {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		if hi > lo {
-			absEB = cfg.ErrorBound * (hi - lo)
-		}
-	}
-	q := quant.New(absEB, cfg.Radius)
+	q := quant.New(cfg.AbsoluteBound(data), cfg.Radius)
 	codes := make([]int, 0, len(data)/sampleStride+1)
 	strides := rowMajorStrides(dims)
 	nd := len(dims)

@@ -44,6 +44,12 @@ func (l *Link) Validate() error {
 	if l.PerFileOverheadSec < 0 {
 		return errors.New("wan: negative per-file overhead")
 	}
+	// Jitter multiplies per-file bandwidth by 1 + JitterFrac·U(−1, 1); a
+	// fraction at or above 1 could draw a zero or negative bandwidth and
+	// produce infinite or negative transfer costs.
+	if l.JitterFrac < 0 || l.JitterFrac >= 1 {
+		return fmt.Errorf("wan: jitter fraction %g outside [0, 1)", l.JitterFrac)
+	}
 	return nil
 }
 

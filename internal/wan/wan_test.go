@@ -27,6 +27,34 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// Regression: JitterFrac ≥ 1 could draw a zero or negative per-file
+// bandwidth in Estimate/Transfer and produce infinite or negative costs;
+// such links must fail validation up front.
+func TestValidateRejectsDegenerateJitter(t *testing.T) {
+	for _, jf := range []float64{-0.1, 1.0, 1.5, math.Inf(1)} {
+		l := &Link{BandwidthMBps: 1000, Concurrency: 4, JitterFrac: jf}
+		if err := l.Validate(); err == nil {
+			t.Errorf("JitterFrac=%g: want validation error", jf)
+		}
+		if _, err := l.Estimate([]int64{1 << 20}, 1); err == nil {
+			t.Errorf("JitterFrac=%g: Estimate accepted a degenerate link", jf)
+		}
+	}
+	for _, jf := range []float64{0, 0.5, 0.99} {
+		l := &Link{BandwidthMBps: 1000, Concurrency: 4, JitterFrac: jf}
+		if err := l.Validate(); err != nil {
+			t.Errorf("JitterFrac=%g: unexpected error %v", jf, err)
+		}
+		res, err := l.Estimate([]int64{1 << 20, 1 << 22}, 7)
+		if err != nil {
+			t.Fatalf("JitterFrac=%g: %v", jf, err)
+		}
+		if res.Seconds <= 0 {
+			t.Errorf("JitterFrac=%g: non-positive transfer seconds %g", jf, res.Seconds)
+		}
+	}
+}
+
 func TestEstimateEmpty(t *testing.T) {
 	res, err := coriBebop().Estimate(nil, 1)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
 	"ocelot/internal/metrics"
+	"ocelot/internal/planner"
 	"ocelot/internal/quality"
 	"ocelot/internal/sz"
 	"ocelot/internal/wan"
@@ -216,4 +217,46 @@ func RunPipelinedCampaign(ctx context.Context, fields []*Field, opts PipelineOpt
 // phases — the pre-pipelining baseline for overlap benchmarks.
 func RunSequentialCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
 	return core.RunSequentialCampaign(ctx, fields, opts)
+}
+
+// --- Predictive campaign planner ---
+
+// PlanOptions configures a predictor-driven (adaptive) campaign: the
+// planner samples every field, predicts quality across a candidate grid,
+// and decides per-field bounds, predictors, and grouping before the
+// pipelined engine runs.
+type PlanOptions = core.PlanOptions
+
+// PlannerOptions tunes the plan pass (candidate grid, quality floor, link
+// model, assumed parallelism).
+type PlannerOptions = planner.Options
+
+// PlannerCandidate is one (error bound × predictor) configuration the
+// planner may assign to a field.
+type PlannerCandidate = planner.Candidate
+
+// CampaignPlan is the planner's decision: per-field configurations, the
+// grouping knob, and the predicted end-to-end accounting.
+type CampaignPlan = planner.Plan
+
+// TrainPlannerModel trains a quality model from a quick compression sweep
+// over the given (typically shrunken stand-in) fields, covering every
+// predictor and bound in the default candidate grid with PSNR ground
+// truth — the train-on-the-fly path of the planner.
+func TrainPlannerModel(train []*Field) (*QualityModel, error) {
+	return planner.TrainFromSweep(train, nil, dtree.Params{MaxDepth: 14})
+}
+
+// PlanCampaign runs only the plan stage and returns the decision table
+// RunPlannedCampaign would execute.
+func PlanCampaign(fields []*Field, opts PlanOptions) (*CampaignPlan, error) {
+	return core.PlanCampaign(fields, opts)
+}
+
+// RunPlannedCampaign closes the paper's predict-then-transfer loop: plan,
+// then run the pipelined campaign with the planned per-field
+// configurations, reporting predicted vs. actual ratio, seconds, and
+// measured PSNR in the CampaignResult.
+func RunPlannedCampaign(ctx context.Context, fields []*Field, opts PlanOptions) (*CampaignResult, error) {
+	return core.RunPlannedCampaign(ctx, fields, opts)
 }

@@ -169,3 +169,38 @@ func TestFacadeCampaignEngines(t *testing.T) {
 		t.Error("sequential run marked pipelined")
 	}
 }
+
+func TestFacadePlannedCampaign(t *testing.T) {
+	var fields, train []*Field
+	for _, name := range FieldsOf("CESM")[:4] {
+		fields = append(fields, facadeField(t, "CESM", name, 40))
+		train = append(train, facadeField(t, "CESM", name, 64))
+	}
+	model, err := TrainPlannerModel(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := PlanOptions{
+		PipelineOptions: PipelineOptions{
+			CampaignOptions: CampaignOptions{Workers: 2},
+			Transport:       &SimulatedWANTransport{Link: StandardLinks()["Anvil->Cori"], Timescale: -1},
+		},
+		Model:   model,
+		Planner: PlannerOptions{MinPSNR: 70},
+	}
+	plan, err := PlanCampaign(fields, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Fields) != 4 || plan.GroupParam < 1 {
+		t.Fatalf("plan: %+v", plan)
+	}
+	res, err := RunPlannedCampaign(context.Background(), fields, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Planned || res.Plan == nil || res.PredRatio <= 0 || res.MinPSNR <= 0 {
+		t.Errorf("planned campaign result incomplete: planned=%v predRatio=%g minPSNR=%g",
+			res.Planned, res.PredRatio, res.MinPSNR)
+	}
+}
