@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint cover tier1 plan-smoke
+.PHONY: build test race bench lint cover tier1 plan-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ cover:
 # The repo's tier-1 verification command.
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+# Godoc coverage gate: fails when the facade, campaign engine, or planner
+# export an undocumented symbol (tools/doccheck).
+doc-check:
+	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner
 
 # Planner smoke: train-on-sweep + plan + adaptive campaign on small
 # synthetic fields, so the closed predict-then-transfer loop can't rot.

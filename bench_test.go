@@ -1,6 +1,6 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
-// paper's evaluation (see DESIGN.md §4 for the experiment index), plus
-// ablation benches for the design choices called out in DESIGN.md §5.
+// paper's evaluation (see docs/ARCHITECTURE.md for the experiment index),
+// plus ablation benches for the repo's own design choices.
 //
 // Run everything with:
 //
@@ -230,6 +230,34 @@ func BenchmarkCampaignPipelineOverlap(b *testing.B) {
 // BenchmarkPipelineArtifact regenerates the Pipeline experiment artifact
 // (sequential vs streaming campaign table).
 func BenchmarkPipelineArtifact(b *testing.B) { runExperiment(b, experiments.PipelineOverlap) }
+
+// BenchmarkCampaignParallelCompression runs the chunk-parallel fan-out
+// campaign at 1 and 8 endpoint workers over the same simulated WAN and
+// reports the wall times, the 8-vs-1 speedup, and the parallelism-aware
+// planner's compress-wall prediction error. The decompressed output must be
+// bit-identical across worker counts — the benchmark fails otherwise.
+func BenchmarkCampaignParallelCompression(b *testing.B) {
+	b.ReportAllocs()
+	var w1, w8, speedup, predErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ParallelCompression(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Values["digest_match"] != 1 {
+			b.Fatal("decompressed output differs across worker counts")
+		}
+		w1 += res.Values["wall_w1"]
+		w8 += res.Values["wall_w8"]
+		speedup += res.Values["speedup_8v1"]
+		predErr += res.Values["pred_compress_relerr"]
+	}
+	n := float64(b.N)
+	b.ReportMetric(w1/n, "wall-1w-sec")
+	b.ReportMetric(w8/n, "wall-8w-sec")
+	b.ReportMetric(speedup/n, "speedup-8v1")
+	b.ReportMetric(predErr/n, "pred-compress-relerr")
+}
 
 // BenchmarkCompressThroughput measures raw compressor speed on each
 // application's representative field.

@@ -5,8 +5,9 @@
 //
 //	ocelot-bench [-shrink N] [-seed S] [-only "Table VIII,Fig 9"]
 //
-// Output is the text rendering of each artifact; see DESIGN.md §4 for the
-// experiment index and EXPERIMENTS.md for an archived run.
+// Output is the text rendering of each artifact, emitted in the canonical
+// order of experiments.Drivers (see docs/ARCHITECTURE.md for the artifact
+// index).
 package main
 
 import (
@@ -36,31 +37,10 @@ func run(args []string) error {
 	}
 	scale := experiments.Scale{Shrink: *shrink, Seed: *seed}
 
-	type driver struct {
-		id string
-		fn func(experiments.Scale) (*experiments.Result, error)
-	}
-	drivers := []driver{
-		{"Table I", experiments.TableI},
-		{"Table II", experiments.TableII},
-		{"Fig 4", experiments.Fig4},
-		{"Fig 5", experiments.Fig5},
-		{"Fig 6", experiments.Fig6},
-		{"Fig 7", experiments.Fig7},
-		{"Fig 8", experiments.Fig8},
-		{"Fig 9", experiments.Fig9},
-		{"Table V", experiments.TableV},
-		{"Table VI", experiments.TableVI},
-		{"Table VII", experiments.TableVII},
-		{"Fig 12", experiments.Fig12},
-		{"Fig 13", experiments.Fig13},
-		{"Fig 14", experiments.Fig14},
-		{"Fig 15", experiments.Fig15},
-		{"Table VIII", experiments.TableVIII},
-		{"Fig 16", experiments.Fig16},
-		{"Pipeline", experiments.PipelineOverlap},
-		{"Planner", experiments.Planner},
-	}
+	// The shared registry is the single ordering authority: artifacts are
+	// always emitted in its canonical order (deterministic run-to-run), so
+	// archived BENCH_*.json trajectories stay comparable across PRs.
+	drivers := experiments.Drivers()
 
 	var wanted map[string]bool
 	if *only != "" {
@@ -75,17 +55,17 @@ func run(args []string) error {
 	start := time.Now()
 	ran := 0
 	for _, d := range drivers {
-		if wanted != nil && !wanted[strings.ToLower(d.id)] {
+		if wanted != nil && !wanted[strings.ToLower(d.ID)] {
 			continue
 		}
 		t0 := time.Now()
-		res, err := d.fn(scale)
+		res, err := d.Fn(scale)
 		if err != nil {
-			return fmt.Errorf("%s: %w", d.id, err)
+			return fmt.Errorf("%s: %w", d.ID, err)
 		}
 		fmt.Println(strings.Repeat("=", 78))
 		fmt.Println(res.Text)
-		fmt.Printf("[%s regenerated in %.2fs]\n\n", d.id, time.Since(t0).Seconds())
+		fmt.Printf("[%s regenerated in %.2fs]\n\n", d.ID, time.Since(t0).Seconds())
 		ran++
 	}
 	if ran == 0 {

@@ -9,6 +9,7 @@
 //	ocelot campaign  -app CESM -fields 12 -pipeline -route Anvil-\>Bebop
 //	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70
 //	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop
+//	ocelot campaign  -pipeline -chunk-mb 0.05 -compress-workers 8 -route Anvil-\>Bebop
 //
 // All data files use the raw-binary + JSON-sidecar layout of
 // internal/dataio.
@@ -312,6 +313,8 @@ func cmdPlan(args []string) error {
 	minPSNR := fs.Float64("min-psnr", 70, "quality floor in dB (0 disables)")
 	maxRelEB := fs.Float64("max-releb", 0, "cap on the assigned relative error bound (0 disables)")
 	trainShrink := fs.Int("train-shrink", 40, "shrink factor for the training sweep")
+	chunkMB := fs.Float64("chunk-mb", 0, "plan for chunk-parallel compression with this raw MB per chunk (0 = monolithic fields)")
+	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers the plan assumes (0 = -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,12 +333,17 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	trainSec := time.Since(start).Seconds()
+	planWorkers := *workers
+	if *chunkMB > 0 && *compressWorkers > 0 {
+		planWorkers = *compressWorkers
+	}
 	popts := planner.Options{
-		MinPSNR:  *minPSNR,
-		MaxRelEB: *maxRelEB,
-		Link:     link,
-		Workers:  *workers,
-		Seed:     *seed,
+		MinPSNR:    *minPSNR,
+		MaxRelEB:   *maxRelEB,
+		Link:       link,
+		Workers:    planWorkers,
+		Seed:       *seed,
+		ChunkBytes: int64(*chunkMB * 1e6),
 	}
 	start = time.Now()
 	plan, err := planner.Build(fields, model, popts)
@@ -372,6 +380,8 @@ func cmdCampaign(args []string) error {
 	route := fs.String("route", "", "pace transfers over a standard link (e.g. Anvil->Bebop); empty = in-process")
 	timescale := fs.Float64("timescale", 1e-3, "wall seconds slept per simulated link second")
 	streams := fs.Int("streams", 0, "archives in flight at once (0 = link concurrency)")
+	chunkMB := fs.Float64("chunk-mb", 0, "chunk-parallel compression: raw MB per chunk fanned out over the faas endpoint (0 = monolithic fields)")
+	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers for chunk compression (0 = -workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -388,6 +398,8 @@ func cmdCampaign(args []string) error {
 			GroupParam:    *groups,
 		},
 		TransferStreams: *streams,
+		ChunkMB:         *chunkMB,
+		CompressWorkers: *compressWorkers,
 	}
 	if *route != "" {
 		link, ok := wan.StandardLinks()[*route]
@@ -430,6 +442,10 @@ func cmdCampaign(args []string) error {
 	fmt.Printf("%s campaign: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
 		engine, res.Files, *app, float64(res.RawBytes)/1e6,
 		float64(res.GroupedBytes)/1e6, res.Groups, res.Ratio)
+	if res.Chunks > 0 {
+		fmt.Printf("chunk fan-out: %d chunks (%.1f MB each) over %d endpoint workers\n",
+			res.Chunks, *chunkMB, res.CompressWorkers)
+	}
 	fmt.Printf("wall %.3fs  [compress %.3fs | pack %.3fs | transfer %.3fs | decompress %.3fs]\n",
 		res.WallSec, res.CompressSec, res.PackSec, res.TransferSec, res.DecompressSec)
 	if res.LinkSec > 0 {

@@ -49,6 +49,18 @@ type CampaignResult struct {
 	TransferSec float64 // transfer-stage span (first send start to last send end)
 	LinkSec     float64 // transport-reported seconds (e.g. simulated WAN time)
 	WallSec     float64 // end-to-end wall time of the campaign
+
+	// Chunk fan-out accounting (populated when PipelineOptions.ChunkMB > 0).
+	Chunks          int // total compression chunks across all fields
+	CompressWorkers int // fan-out endpoint worker count (0 = fan-out off)
+	// ReconDigest is an FNV-64a digest of every field's reconstruction,
+	// folded in field order (independent of completion order). Two
+	// fan-out campaigns over the same fields produced bit-identical
+	// decompressed output iff their digests match — the check the
+	// parallel-compression artifact uses to prove worker count never
+	// changes the bytes. Zero when chunk fan-out is off: monolithic runs
+	// do not pay the digest pass.
+	ReconDigest uint64
 	// OverlapSec is the measured concurrency between stages: the sum of
 	// per-stage spans minus the run's span. Zero means strictly serial
 	// phases; the pipelined engine's win is this time, hidden.

@@ -7,9 +7,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ocelot/internal/datagen"
+	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
 	"ocelot/internal/metrics"
 	"ocelot/internal/pipeline"
@@ -35,6 +37,21 @@ type PipelineOptions struct {
 	// means the worker count (enough slack to decouple stage cadences
 	// without unbounded buffering).
 	StageBuffer int
+	// ChunkMB, when > 0, enables chunk-parallel compression: every field is
+	// decomposed into ~ChunkMB-of-raw-data blocks (sz.PlanChunks) that are
+	// batch-submitted to an in-process funcX-style endpoint and compressed
+	// by its workers concurrently, so a single wide field no longer
+	// serializes on one worker. The assembled chunked container is
+	// byte-identical for any worker count (see sz.AssembleChunks).
+	ChunkMB float64
+	// CompressWorkers is the fan-out endpoint's worker count (the effective
+	// compression parallelism when ChunkMB > 0); ≤ 0 defaults to Workers.
+	CompressWorkers int
+	// ChunkEndpoint tunes the deployed fan-out endpoint — cold/warm start
+	// costs (the fabric's container-warming model) and queue depth. Its
+	// Workers field is overridden by CompressWorkers. Ignored when
+	// ChunkMB ≤ 0.
+	ChunkEndpoint faas.EndpointConfig
 }
 
 // campaignMode selects between the barrier (classic) and streaming
@@ -51,6 +68,29 @@ type campaignMode struct {
 	// measurePSNR also scores reconstruction PSNR in the verify stage so
 	// planned campaigns can report predicted-vs-actual quality.
 	measurePSNR bool
+	// chunkBytes > 0 fans compression out chunk-wise over a faas endpoint
+	// with compressWorkers workers tuned by endpoint.
+	chunkBytes      int64
+	compressWorkers int
+	endpoint        faas.EndpointConfig
+}
+
+// chunkMode derives the chunk fan-out portion of a campaignMode from the
+// caller-facing options.
+func (o PipelineOptions) chunkMode() (chunkBytes int64, workers int, ep faas.EndpointConfig) {
+	if o.ChunkMB <= 0 {
+		return 0, 0, faas.EndpointConfig{}
+	}
+	workers = o.CompressWorkers
+	if workers <= 0 {
+		workers = o.Workers
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	ep = o.ChunkEndpoint
+	ep.Workers = workers
+	return int64(o.ChunkMB * 1e6), workers, ep
 }
 
 // fieldSetting is one field's planned compression configuration.
@@ -68,11 +108,15 @@ type fieldSetting struct {
 // per-stage timings and the measured overlap.
 func RunPipelinedCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
 	transport, streams := resolveTransport(opts)
+	chunkBytes, cw, ep := opts.chunkMode()
 	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
 		pipelined:       true,
 		transport:       transport,
 		transferStreams: streams,
 		buffer:          opts.StageBuffer,
+		chunkBytes:      chunkBytes,
+		compressWorkers: cw,
+		endpoint:        ep,
 	})
 }
 
@@ -98,11 +142,15 @@ func resolveTransport(opts PipelineOptions) (Transport, int) {
 // transport.
 func RunSequentialCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
 	transport, streams := resolveTransport(opts)
+	chunkBytes, cw, ep := opts.chunkMode()
 	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
 		sequential:      true,
 		transport:       transport,
 		transferStreams: streams,
 		buffer:          opts.StageBuffer,
+		chunkBytes:      chunkBytes,
+		compressWorkers: cw,
+		endpoint:        ep,
 	})
 }
 
@@ -241,13 +289,34 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	}
 	src := pipeline.Emit(g, buffer, idxs)
 
+	var fan *chunkFanout
+	var totalChunks atomic.Int64
+	if mode.chunkBytes > 0 {
+		var err error
+		if fan, err = newChunkFanout(mode.endpoint); err != nil {
+			return nil, err
+		}
+		defer fan.close()
+	}
 	compress := pipeline.Stage(g, pipeline.Config{Name: "compress", Workers: workers, Buffer: buffer}, src,
 		func(ctx context.Context, i int) (compressedItem, error) {
 			cfg := sz.DefaultConfig(absEBs[i])
 			if preds[i] != 0 {
 				cfg.Predictor = preds[i]
 			}
-			stream, _, err := sz.Compress(fields[i].Data, fields[i].Dims, cfg)
+			var stream []byte
+			var err error
+			if fan != nil {
+				// Chunk fan-out: this stage worker only batches chunk tasks
+				// onto the endpoint and assembles the completions; the
+				// endpoint's worker pool is the actual compression
+				// parallelism.
+				var n int
+				stream, n, err = fan.compressField(ctx, fields[i], cfg, mode.chunkBytes)
+				totalChunks.Add(int64(n))
+			} else {
+				stream, _, err = sz.Compress(fields[i].Data, fields[i].Dims, cfg)
+			}
 			if err != nil {
 				return compressedItem{}, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
 			}
@@ -289,6 +358,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			})
 	}
 
+	reconDigests := make([]uint64, len(fields))
 	verified := pipeline.Stage(g, pipeline.Config{Name: "decompress", Workers: workers, Buffer: buffer}, sent,
 		func(ctx context.Context, sg sentGroup) (verifiedGroup, error) {
 			members, err := grouping.Unpack(sg.archive)
@@ -307,6 +377,14 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 				}
 				if len(dims) != len(fields[i].Dims) {
 					return verifiedGroup{}, fmt.Errorf("core: %s: dims mismatch", m.Name)
+				}
+				// Each field is verified exactly once, so writing its slot
+				// is race-free across decompress workers. Only fan-out
+				// campaigns pay the digest pass — it exists to prove
+				// worker-count invariance, and monolithic runs should not
+				// carry its cost in the verify stage.
+				if mode.chunkBytes > 0 {
+					reconDigests[i] = reconDigest(recon)
 				}
 				maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
 				if err != nil {
@@ -355,6 +433,11 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
 	res.Metadata = grouping.Metadata(ps.names, ps.plan, strategy)
 	res.LinkSec = linkSec
+	res.Chunks = int(totalChunks.Load())
+	res.CompressWorkers = mode.compressWorkers
+	if mode.chunkBytes > 0 {
+		res.ReconDigest = foldDigests(reconDigests)
+	}
 
 	stats := g.Stats()
 	res.Stages = stats
@@ -372,6 +455,46 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		}
 	}
 	return res, nil
+}
+
+// FNV-64a parameters for the inline digest loops below: every campaign
+// digests every reconstruction, so this runs in the decompress hot path
+// and must not pay hash.Hash interface dispatch or per-value allocations.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64aWord folds one 64-bit word into an FNV-64a state, low byte first
+// (equivalent to hashing the word's little-endian bytes).
+func fnv64aWord(h, w uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h ^= (w >> s) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// reconDigest hashes one field's reconstruction (FNV-64a over the exact
+// float64 bit patterns), so two campaigns can be compared for bit-identical
+// output without retaining the data.
+func reconDigest(recon []float64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range recon {
+		h = fnv64aWord(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// foldDigests combines per-field digests in field-index order into one
+// campaign digest. Field order is fixed by the input, not by completion
+// order, so the fold is deterministic under any scheduling.
+func foldDigests(digests []uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, d := range digests {
+		h = fnv64aWord(h, d)
+	}
+	return h
 }
 
 // packStage wires the grouping stage. Both modes run as a single-worker

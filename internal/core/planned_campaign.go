@@ -28,11 +28,24 @@ type PlanOptions struct {
 }
 
 // resolvedPlanner fills PlanOptions.Planner defaults from the campaign
-// context so callers only state what they want to override.
+// context so callers only state what they want to override: the planner's
+// assumed parallelism follows the fan-out endpoint's worker count when
+// chunking is on, and the chunk granularity follows ChunkMB, so the plan
+// predicts the campaign that will actually run.
 func (o PlanOptions) resolvedPlanner() planner.Options {
 	p := o.Planner
 	if p.Workers <= 0 {
-		p.Workers = o.Workers
+		if o.ChunkMB > 0 && o.CompressWorkers > 0 {
+			p.Workers = o.CompressWorkers
+		} else {
+			p.Workers = o.Workers
+		}
+	}
+	if p.ChunkBytes == 0 && o.ChunkMB > 0 {
+		p.ChunkBytes = int64(o.ChunkMB * 1e6)
+	}
+	if p.ChunkDispatchSec == 0 && o.ChunkMB > 0 {
+		p.ChunkDispatchSec = o.ChunkEndpoint.WarmStart.Seconds()
 	}
 	if p.Link == nil {
 		if st, ok := o.Transport.(*SimulatedWANTransport); ok {
@@ -75,6 +88,7 @@ func RunPlannedCampaign(ctx context.Context, fields []*datagen.Field, opts PlanO
 	for i, fp := range plan.Fields {
 		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor}
 	}
+	chunkBytes, cw, ep := opts.PipelineOptions.chunkMode()
 	res, err := runCampaign(ctx, fields, copts, campaignMode{
 		pipelined:       true,
 		transport:       transport,
@@ -82,6 +96,9 @@ func RunPlannedCampaign(ctx context.Context, fields []*datagen.Field, opts PlanO
 		buffer:          opts.StageBuffer,
 		perField:        settings,
 		measurePSNR:     true,
+		chunkBytes:      chunkBytes,
+		compressWorkers: cw,
+		endpoint:        ep,
 	})
 	if err != nil {
 		return nil, err

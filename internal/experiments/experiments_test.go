@@ -269,3 +269,32 @@ func TestPlanner(t *testing.T) {
 		t.Error("artifact text missing the predicted-vs-actual line")
 	}
 }
+
+func TestParallelCompression(t *testing.T) {
+	res, err := ParallelCompression(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["digest_match"] != 1 {
+		t.Fatal("decompressed output differs across endpoint worker counts")
+	}
+	if res.Values["config/chunks"] <= res.Values["config/fields"] {
+		t.Fatalf("fields did not split: %v chunks for %v fields",
+			res.Values["config/chunks"], res.Values["config/fields"])
+	}
+	if res.Values["config/chunk_mb"] <= 0 {
+		t.Fatal("chunk/worker configuration missing from the artifact")
+	}
+	// The fan-out's per-chunk dispatch cost is modeled wall time, so the
+	// 8-vs-1 worker speedup is robust to the host's core count.
+	if s := res.Values["speedup_8v1"]; s < 1.4 {
+		t.Errorf("8-worker speedup %.2fx below the 1.4x floor", s)
+	}
+	// Parallelism-aware prediction stays in the measured ballpark.
+	if e := res.Values["pred_compress_relerr"]; e > 0.35 || e < -0.35 {
+		t.Errorf("planner compress-wall prediction off by %+.0f%%", 100*e)
+	}
+	if !strings.Contains(res.Text, "bit-identical") {
+		t.Error("artifact text missing the bit-identity line")
+	}
+}

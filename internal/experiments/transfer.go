@@ -206,43 +206,6 @@ func Fig16(scale Scale) (*Result, error) {
 	return res, nil
 }
 
-// All runs every experiment at the given scale, returning results keyed by
-// artifact ID in presentation order.
-func All(scale Scale) ([]*Result, error) {
-	type driver struct {
-		name string
-		fn   func(Scale) (*Result, error)
-	}
-	drivers := []driver{
-		{"Table I", TableI},
-		{"Table II", TableII},
-		{"Fig 4", Fig4},
-		{"Fig 5", Fig5},
-		{"Fig 6", Fig6},
-		{"Fig 7", Fig7},
-		{"Fig 8", Fig8},
-		{"Fig 9", Fig9},
-		{"Table V", TableV},
-		{"Table VI", TableVI},
-		{"Table VII", TableVII},
-		{"Fig 12", Fig12},
-		{"Fig 13", Fig13},
-		{"Fig 14", Fig14},
-		{"Fig 15", Fig15},
-		{"Table VIII", TableVIII},
-		{"Fig 16", Fig16},
-	}
-	out := make([]*Result, 0, len(drivers))
-	for _, d := range drivers {
-		r, err := d.fn(scale)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", d.name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
-}
-
 // PipelineOverlap contrasts the barrier (sequential-phase) and streaming
 // campaign engines on the same data and the same simulated WAN: the
 // streaming engine starts shipping a packed group while later fields are

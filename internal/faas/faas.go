@@ -105,15 +105,17 @@ type EndpointConfig struct {
 
 // Endpoint executes tasks for one remote site.
 type Endpoint struct {
-	name   string
-	svc    *Service
-	cfg    EndpointConfig
-	queue  chan *task
-	warm   map[string]bool
-	warmMu sync.Mutex
-	wg     sync.WaitGroup
-	closed chan struct{}
-	once   sync.Once
+	name      string
+	svc       *Service
+	cfg       EndpointConfig
+	queue     chan *task
+	warm      map[string]bool
+	warmMu    sync.Mutex
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	once      sync.Once
+	aborted   chan struct{}
+	abortOnce sync.Once
 }
 
 // DeployEndpoint registers and starts an endpoint.
@@ -133,12 +135,13 @@ func (s *Service) DeployEndpoint(name string, cfg EndpointConfig) (*Endpoint, er
 		return nil, fmt.Errorf("faas: endpoint %q already deployed", name)
 	}
 	ep := &Endpoint{
-		name:   name,
-		svc:    s,
-		cfg:    cfg,
-		queue:  make(chan *task, cfg.QueueDepth),
-		warm:   make(map[string]bool),
-		closed: make(chan struct{}),
+		name:    name,
+		svc:     s,
+		cfg:     cfg,
+		queue:   make(chan *task, cfg.QueueDepth),
+		warm:    make(map[string]bool),
+		closed:  make(chan struct{}),
+		aborted: make(chan struct{}),
 	}
 	s.endpoints[name] = ep
 	for w := 0; w < cfg.Workers; w++ {
@@ -160,10 +163,24 @@ func (e *Endpoint) Close() {
 	e.svc.mu.Unlock()
 }
 
+// Abort tears the endpoint down without draining: tasks still queued (and
+// tasks whose warming sleep has not finished) complete immediately with
+// ErrEndpointClosed instead of executing, so a cancelled caller is not
+// held hostage by a deep backlog. Function bodies already running are
+// allowed to finish. Call Close afterwards to join the workers.
+func (e *Endpoint) Abort() {
+	e.abortOnce.Do(func() { close(e.aborted) })
+}
+
 func (e *Endpoint) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
-		e.execute(t)
+		select {
+		case <-e.aborted:
+			e.finish(t, nil, fmt.Errorf("%w: %s", ErrEndpointClosed, e.name))
+		default:
+			e.execute(t)
+		}
 	}
 }
 
@@ -181,10 +198,19 @@ func (e *Endpoint) execute(t *task) {
 	isWarm := e.warm[t.fn]
 	e.warm[t.fn] = true
 	e.warmMu.Unlock()
+	delay := e.cfg.WarmStart
 	if !isWarm && e.cfg.ColdStart > 0 {
-		time.Sleep(e.cfg.ColdStart)
-	} else if e.cfg.WarmStart > 0 {
-		time.Sleep(e.cfg.WarmStart)
+		delay = e.cfg.ColdStart
+	}
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-e.aborted:
+			timer.Stop()
+			e.finish(t, nil, fmt.Errorf("%w: %s", ErrEndpointClosed, e.name))
+			return
+		case <-timer.C:
+		}
 	}
 	res, err := fn(context.Background(), t.payload)
 	e.finish(t, res, err)
@@ -201,6 +227,16 @@ func (e *Endpoint) finish(t *task, res interface{}, err error) {
 
 // Submit queues a function invocation on an endpoint and returns a TaskID.
 func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, error) {
+	return s.submit(context.Background(), endpoint, fn, payload)
+}
+
+// SubmitContext is Submit honouring ctx while blocked on a full endpoint
+// queue — a cancelled submitter does not keep feeding the backlog.
+func (s *Service) SubmitContext(ctx context.Context, endpoint, fn string, payload interface{}) (TaskID, error) {
+	return s.submit(ctx, endpoint, fn, payload)
+}
+
+func (s *Service) submit(ctx context.Context, endpoint, fn string, payload interface{}) (TaskID, error) {
 	s.mu.Lock()
 	ep, ok := s.endpoints[endpoint]
 	if !ok {
@@ -218,8 +254,19 @@ func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, erro
 	s.tasks[id] = t
 	s.mu.Unlock()
 
+	// drop removes a record that never reached a queue — no worker will
+	// ever finish it, so keeping it would leak.
+	drop := func() {
+		s.mu.Lock()
+		delete(s.tasks, id)
+		s.mu.Unlock()
+	}
 	select {
+	case <-ctx.Done():
+		drop()
+		return "", ctx.Err()
 	case <-ep.closed:
+		drop()
 		return "", ErrEndpointClosed
 	case ep.queue <- t:
 		return id, nil
@@ -228,9 +275,15 @@ func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, erro
 
 // SubmitBatch submits the same function once per payload (funcX batching).
 func (s *Service) SubmitBatch(endpoint, fn string, payloads []interface{}) ([]TaskID, error) {
+	return s.SubmitBatchContext(context.Background(), endpoint, fn, payloads)
+}
+
+// SubmitBatchContext is SubmitBatch honouring ctx between and during
+// enqueues; already-submitted IDs are returned beside the error.
+func (s *Service) SubmitBatchContext(ctx context.Context, endpoint, fn string, payloads []interface{}) ([]TaskID, error) {
 	ids := make([]TaskID, 0, len(payloads))
 	for _, p := range payloads {
-		id, err := s.Submit(endpoint, fn, p)
+		id, err := s.submit(ctx, endpoint, fn, p)
 		if err != nil {
 			return ids, err
 		}
@@ -268,6 +321,22 @@ func (s *Service) WaitAll(ctx context.Context, ids []TaskID) ([]interface{}, err
 		out[i] = res
 	}
 	return out, firstErr
+}
+
+// Forget releases the records — and therefore the held results — of
+// finished tasks. High-volume callers (the campaign engine's chunk
+// fan-out submits one task per chunk) call it after collecting results so
+// the service does not accumulate every payload and result for its whole
+// lifetime. Unfinished tasks are left untouched; forgotten IDs become
+// ErrUnknownTask.
+func (s *Service) Forget(ids ...TaskID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		if t, ok := s.tasks[id]; ok && t.state == StateDone {
+			delete(s.tasks, id)
+		}
+	}
 }
 
 // State reports the current state of a task.

@@ -238,3 +238,125 @@ func TestSubmitAfterClose(t *testing.T) {
 		t.Fatal("submit to closed endpoint must error")
 	}
 }
+
+func TestAbortDropsQueuedTasks(t *testing.T) {
+	svc := NewService()
+	if err := svc.RegisterFunction("slow", func(ctx context.Context, p interface{}) (interface{}, error) {
+		time.Sleep(20 * time.Millisecond)
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := svc.DeployEndpoint("ep", EndpointConfig{Workers: 1, WarmStart: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([]interface{}, 50)
+	for i := range payloads {
+		payloads[i] = i
+	}
+	ids, err := svc.SubmitBatch("ep", "slow", payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the worker pick up the first task
+	start := time.Now()
+	ep.Abort()
+	ep.Close()
+	// Draining 50 tasks at ~30ms each would take ~1.5s; the abort must cut
+	// that to at most the one in-flight task.
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("abort+close took %v, backlog was not dropped", d)
+	}
+	var dropped int
+	for _, id := range ids {
+		if _, err := svc.Wait(context.Background(), id); errors.Is(err, ErrEndpointClosed) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no queued task finished with ErrEndpointClosed")
+	}
+}
+
+func TestForgetReleasesFinishedTasks(t *testing.T) {
+	svc := NewService()
+	if err := svc.RegisterFunction("echo", func(ctx context.Context, p interface{}) (interface{}, error) {
+		return p, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := svc.DeployEndpoint("ep", EndpointConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	id, err := svc.Submit("ep", "echo", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Wait(context.Background(), id); err != nil {
+		t.Fatal(err)
+	}
+	svc.Forget(id)
+	if _, err := svc.Wait(context.Background(), id); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("forgotten task still known: %v", err)
+	}
+	// Forget must leave unfinished tasks alone.
+	block := make(chan struct{})
+	if err := svc.RegisterFunction("block", func(ctx context.Context, p interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := svc.Submit("ep", "block", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Forget(id2)
+	close(block)
+	if _, err := svc.Wait(context.Background(), id2); err != nil {
+		t.Fatalf("unfinished task was forgotten: %v", err)
+	}
+}
+
+func TestSubmitContextHonoursCancelOnFullQueue(t *testing.T) {
+	svc := NewService()
+	block := make(chan struct{})
+	if err := svc.RegisterFunction("block", func(ctx context.Context, p interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := svc.DeployEndpoint("ep", EndpointConfig{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		ep.Close()
+	}()
+	// Fill the worker and the 1-deep queue.
+	payloads := []interface{}{1, 2}
+	if _, err := svc.SubmitBatch("ep", "block", payloads); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.SubmitContext(ctx, "ep", "block", 3)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the submitter block on the queue
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitContext ignored cancellation while the queue was full")
+	}
+}

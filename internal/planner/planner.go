@@ -70,7 +70,28 @@ type Options struct {
 	GroupCounts []int
 	// Seed drives the link estimate's deterministic jitter.
 	Seed int64
+	// ChunkBytes is the raw-byte chunk size the campaign will use for
+	// chunk-parallel compression (PipelineOptions.ChunkMB × 1e6); 0 plans
+	// for monolithic per-field compression. With chunking, a wide field's
+	// predicted seconds divide across up to min(Workers, its chunk count)
+	// workers instead of serializing on one — see ParallelCompressSec.
+	ChunkBytes int64
+	// ChunkOverheadFrac is the fractional cost added to a field's predicted
+	// compression seconds when it is split (per-chunk framing and lost
+	// cross-chunk prediction context); ≤ 0 selects
+	// DefaultChunkOverheadFrac. Only applied to fields that actually split.
+	ChunkOverheadFrac float64
+	// ChunkDispatchSec is the fan-out endpoint's fixed per-chunk invocation
+	// cost in seconds (the fabric's warm-start dispatch). Campaigns default
+	// it from their endpoint configuration so the plan prices the fabric
+	// the chunks will actually cross.
+	ChunkDispatchSec float64
 }
+
+// DefaultChunkOverheadFrac is the planner's default fractional chunking
+// overhead, calibrated against the fan-out engine's measured cost of
+// framing + fabric dispatch on multi-chunk fields.
+const DefaultChunkOverheadFrac = 0.03
 
 // FieldPlan is the planner's decision for one field.
 type FieldPlan struct {
@@ -98,6 +119,13 @@ type Plan struct {
 	GroupStrategy grouping.Strategy `json:"groupStrategy"`
 	GroupParam    int64             `json:"groupParam"`
 	MinPSNR       float64           `json:"minPsnr,omitempty"`
+	// Workers is the compression parallelism the predictions assume.
+	Workers int `json:"workers,omitempty"`
+	// ChunkBytes echoes the chunk-parallel granularity the plan assumed
+	// (0 = monolithic fields), and Chunks the resulting total chunk count,
+	// so planned artifacts are comparable across configurations.
+	ChunkBytes int64 `json:"chunkBytes,omitempty"`
+	Chunks     int   `json:"chunks,omitempty"`
 
 	RawBytes        int64   `json:"rawBytes"`
 	PredBytes       int64   `json:"predBytes"`
@@ -136,6 +164,10 @@ func (p *Plan) String() string {
 			fp.Field, fp.RelEB, fp.Predictor, fp.PredRatio, fp.PredPSNR, fp.PredSec, note))
 	}
 	sb.WriteString(fmt.Sprintf("grouping: %s param=%d\n", p.GroupStrategy, p.GroupParam))
+	if p.ChunkBytes > 0 {
+		sb.WriteString(fmt.Sprintf("chunking: %.1f MB chunks (%d total) across %d workers\n",
+			float64(p.ChunkBytes)/1e6, p.Chunks, p.Workers))
+	}
 	sb.WriteString(fmt.Sprintf("predicted: %.1f MB -> %.1f MB (ratio %.1f), compress %.2fs, transfer %.2fs, wall %.2fs\n",
 		float64(p.RawBytes)/1e6, float64(p.PredBytes)/1e6, p.PredRatio,
 		p.PredCompressSec, p.PredTransferSec, p.PredWallSec))
@@ -278,13 +310,30 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 		predSizes[i] = fp.PredBytes
 	}
 
-	// Campaign-level accounting + the grouping decision.
-	var sumSec float64
-	for _, fp := range plan.Fields {
+	// Campaign-level accounting + the grouping decision. Compression wall
+	// time is parallelism-aware: per-field seconds spread over the workers,
+	// with a field's divisibility limited by its chunk count — a monolithic
+	// wide field floors the wall at its own duration, chunking lifts that
+	// floor (the tentpole win on wide endpoints).
+	secs := make([]float64, len(plan.Fields))
+	chunks := make([]int, len(plan.Fields))
+	for i, fp := range plan.Fields {
 		plan.PredBytes += fp.PredBytes
-		sumSec += fp.PredSec
+		secs[i] = fp.PredSec
+		chunks[i] = len(sz.PlanChunksBytes(fields[i].Dims, opts.ChunkBytes, fields[i].ElementSize))
+		if opts.ChunkBytes > 0 {
+			// Monolithic plans keep Chunks at 0: the artifact field means
+			// "fan-out chunks", not "one pseudo-chunk per field".
+			plan.Chunks += chunks[i]
+		}
 	}
-	plan.PredCompressSec = sumSec / float64(opts.Workers)
+	plan.Workers = opts.Workers
+	plan.ChunkBytes = opts.ChunkBytes
+	dispatch := 0.0
+	if opts.ChunkBytes > 0 {
+		dispatch = opts.ChunkDispatchSec
+	}
+	plan.PredCompressSec = ParallelCompressSec(secs, chunks, opts.Workers, opts.ChunkOverheadFrac, dispatch)
 	if plan.PredBytes > 0 {
 		plan.PredRatio = float64(plan.RawBytes) / float64(plan.PredBytes)
 	}
@@ -292,6 +341,49 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 		return nil, err
 	}
 	return plan, nil
+}
+
+// ParallelCompressSec predicts the wall seconds to compress fields whose
+// single-worker times are secs[i] on `workers` parallel workers, when field
+// i is divisible into chunks[i] independent tasks and every task pays a
+// fixed dispatchSec invocation cost on the fan-out fabric. It is the
+// standard list-scheduling lower bound, max(total work / workers, longest
+// indivisible task), with a fractional overhead charged to every field that
+// actually splits (chunks[i] > 1):
+//
+//	task_i = secs[i]·(1+overhead)/chunks[i] + dispatchSec
+//	wall   = max(Σ chunks[i]·task_i / workers, max_i task_i)
+//
+// With chunks[i] = 1 everywhere and dispatchSec = 0 this reduces to the
+// monolithic model: a single wide field floors the wall at its own duration
+// no matter how many workers the endpoint has. Chunking divides that floor
+// by the chunk count — which is exactly why the planner's grouping and
+// adaptive decisions shift when wide endpoints can be exploited.
+// overheadFrac ≤ 0 selects DefaultChunkOverheadFrac.
+func ParallelCompressSec(secs []float64, chunks []int, workers int, overheadFrac, dispatchSec float64) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	if overheadFrac <= 0 {
+		overheadFrac = DefaultChunkOverheadFrac
+	}
+	if dispatchSec < 0 {
+		dispatchSec = 0
+	}
+	var total, maxTask float64
+	for i, s := range secs {
+		c := 1
+		if i < len(chunks) && chunks[i] > 1 {
+			c = chunks[i]
+			s *= 1 + overheadFrac
+		}
+		task := s/float64(c) + dispatchSec
+		total += s + float64(c)*dispatchSec
+		if task > maxTask {
+			maxTask = task
+		}
+	}
+	return math.Max(total/float64(workers), maxTask)
 }
 
 // scoreCandidate is the per-field share of predicted end-to-end seconds:

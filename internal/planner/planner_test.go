@@ -208,3 +208,99 @@ func TestFixedBaseline(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelCompressSec(t *testing.T) {
+	secs := []float64{8, 1, 1, 1, 1}
+	ones := []int{1, 1, 1, 1, 1}
+
+	// Monolithic on a wide endpoint: the 8 s field floors the wall.
+	mono := ParallelCompressSec(secs, ones, 8, 0.03, 0)
+	if mono != 8 {
+		t.Fatalf("monolithic wall = %g, want 8 (widest field floors it)", mono)
+	}
+	// Chunking the wide field lifts the floor: wall falls toward total/W.
+	chunked := ParallelCompressSec(secs, []int{8, 1, 1, 1, 1}, 8, 0.03, 0)
+	if chunked >= mono/2 {
+		t.Fatalf("chunked wall %g did not beat monolithic %g on a wide endpoint", chunked, mono)
+	}
+	// One worker: chunking only adds its overhead, never helps.
+	w1m := ParallelCompressSec(secs, ones, 1, 0.03, 0)
+	w1c := ParallelCompressSec(secs, []int{8, 1, 1, 1, 1}, 1, 0.03, 0)
+	if w1c < w1m {
+		t.Fatalf("1-worker chunked %g cheaper than monolithic %g", w1c, w1m)
+	}
+	if w1c <= w1m {
+		t.Fatalf("1-worker chunked %g missing the overhead term (monolithic %g)", w1c, w1m)
+	}
+	// Never below the perfectly divisible bound.
+	if lb := (8*1.03 + 4) / 8; chunked < lb-1e-12 {
+		t.Fatalf("wall %g below total-work bound %g", chunked, lb)
+	}
+	// Degenerate inputs.
+	if got := ParallelCompressSec(nil, nil, 4, 0, 0); got != 0 {
+		t.Fatalf("empty workload wall = %g", got)
+	}
+	if got := ParallelCompressSec([]float64{2}, nil, 0, 0, 0); got != 2 {
+		t.Fatalf("zero-worker clamp: wall = %g, want 2", got)
+	}
+}
+
+// TestBuildChunkAware: with a wide field dominating the workload, a
+// chunk-aware plan on a wide endpoint must predict a strictly smaller
+// compression wall than the monolithic plan, and record its chunk
+// configuration for artifact comparability.
+func TestBuildChunkAware(t *testing.T) {
+	cands := testCandidates()
+	model := trainedModel(t, cands)
+	fields := plannerFields(t, 48, 3)
+
+	base := Options{Candidates: cands, Link: testLink(), Workers: 8}
+	mono, err := Build(fields, model, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withChunks := base
+	// A quarter of the largest field per chunk: every field splits.
+	withChunks.ChunkBytes = int64(fields[0].RawBytes()) / 4
+	chunked, err := Build(fields, model, withChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Chunks <= len(fields) {
+		t.Fatalf("plan did not split fields: %d chunks", chunked.Chunks)
+	}
+	if chunked.ChunkBytes != withChunks.ChunkBytes || chunked.Workers != 8 {
+		t.Fatalf("plan lost its chunk config: %+v", chunked)
+	}
+	if mono.Chunks != 0 {
+		t.Fatalf("monolithic plan reports %d fan-out chunks, want 0", mono.Chunks)
+	}
+	if chunked.PredCompressSec > mono.PredCompressSec*(1+1e-9) {
+		t.Fatalf("chunk-aware compress wall %g worse than monolithic %g on a wide endpoint",
+			chunked.PredCompressSec, mono.PredCompressSec)
+	}
+	// The wall prediction must respect the indivisible-task floor.
+	var maxSec float64
+	for _, fp := range mono.Fields {
+		if fp.PredSec > maxSec {
+			maxSec = fp.PredSec
+		}
+	}
+	if mono.PredCompressSec < maxSec-1e-12 {
+		t.Fatalf("monolithic wall %g below widest field %g", mono.PredCompressSec, maxSec)
+	}
+}
+
+// TestParallelCompressSecDispatch: the fixed per-chunk dispatch cost scales
+// with the chunk count and divides across workers like any other work.
+func TestParallelCompressSecDispatch(t *testing.T) {
+	secs := []float64{1, 1}
+	chunks := []int{4, 4}
+	base := ParallelCompressSec(secs, chunks, 4, 0.03, 0)
+	withDispatch := ParallelCompressSec(secs, chunks, 4, 0.03, 0.1)
+	// 8 chunks × 0.1 s dispatch = 0.8 s of extra work over 4 workers.
+	want := base + 0.8/4
+	if diff := withDispatch - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("dispatch-aware wall %g, want %g", withDispatch, want)
+	}
+}

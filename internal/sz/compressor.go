@@ -148,9 +148,14 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 	return stream, st, nil
 }
 
-// Decompress decodes a stream produced by Compress, returning the
-// reconstructed values and their shape.
+// Decompress decodes a stream produced by Compress — or a chunked
+// container produced by AssembleChunks/CompressChunked, which it detects by
+// magic and routes through DecompressChunked — returning the reconstructed
+// values and their shape.
 func Decompress(stream []byte) ([]float64, []int, error) {
+	if IsChunked(stream) {
+		return DecompressChunked(stream)
+	}
 	h, body, err := parseHeader(stream)
 	if err != nil {
 		return nil, nil, err

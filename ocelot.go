@@ -25,6 +25,7 @@ import (
 	"ocelot/internal/core"
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
+	"ocelot/internal/faas"
 	"ocelot/internal/metrics"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
@@ -62,10 +63,35 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *CompressionStats
 	return sz.Compress(data, dims, cfg)
 }
 
-// Decompress decodes a stream produced by Compress.
+// Decompress decodes a stream produced by Compress or CompressChunked
+// (chunked containers are detected by magic and reassembled transparently).
 func Decompress(stream []byte) (data []float64, dims []int, err error) {
 	return sz.Decompress(stream)
 }
+
+// --- Chunk-parallel compression ---
+
+// ChunkRange is one block of a chunk-decomposed field: rows [Start, End)
+// along the slowest axis.
+type ChunkRange = sz.ChunkRange
+
+// PlanChunks splits a field shape into independently compressible chunks
+// of roughly targetPoints values each. The plan depends only on the shape
+// and target, so campaigns decompose identically run to run.
+func PlanChunks(dims []int, targetPoints int) []ChunkRange {
+	return sz.PlanChunks(dims, targetPoints)
+}
+
+// CompressChunked compresses a field as a chunked container: independent
+// ~targetPoints blocks under the field-level error bound, framed for
+// bit-exact reassembly. Decompress reads the container transparently.
+func CompressChunked(data []float64, dims []int, cfg Config, targetPoints int) ([]byte, *CompressionStats, error) {
+	return sz.CompressChunked(data, dims, cfg, targetPoints)
+}
+
+// IsChunkedStream reports whether a stream is a chunked container (as
+// opposed to a plain Compress stream).
+func IsChunkedStream(stream []byte) bool { return sz.IsChunked(stream) }
 
 // --- Quality metrics ---
 
@@ -217,6 +243,19 @@ func RunPipelinedCampaign(ctx context.Context, fields []*Field, opts PipelineOpt
 // phases — the pre-pipelining baseline for overlap benchmarks.
 func RunSequentialCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
 	return core.RunSequentialCampaign(ctx, fields, opts)
+}
+
+// EndpointConfig tunes a FaaS fan-out endpoint: worker count, the
+// container-warming model (cold/warm start costs), and queue depth. Set it
+// on PipelineOptions.ChunkEndpoint for chunk-parallel campaigns.
+type EndpointConfig = faas.EndpointConfig
+
+// PredictParallelCompressSec is the planner's parallelism-aware compression
+// wall model: fields with single-worker seconds secs and chunk counts
+// chunks spread across workers, each chunk paying dispatchSec on the
+// fabric. See planner.ParallelCompressSec.
+func PredictParallelCompressSec(secs []float64, chunks []int, workers int, overheadFrac, dispatchSec float64) float64 {
+	return planner.ParallelCompressSec(secs, chunks, workers, overheadFrac, dispatchSec)
 }
 
 // --- Predictive campaign planner ---

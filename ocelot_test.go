@@ -204,3 +204,69 @@ func TestFacadePlannedCampaign(t *testing.T) {
 			res.Planned, res.PredRatio, res.MinPSNR)
 	}
 }
+
+func TestFacadeChunkedCompression(t *testing.T) {
+	f, err := GenerateField("CESM", "TMQ", 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanChunks(f.Dims, f.NumPoints()/4)
+	if len(plan) < 2 {
+		t.Fatalf("field did not split: %d chunks", len(plan))
+	}
+	stream, _, err := CompressChunked(f.Data, f.Dims, DefaultConfig(1e-3), f.NumPoints()/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsChunkedStream(stream) {
+		t.Fatal("CompressChunked did not produce a chunked container")
+	}
+	recon, dims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != f.NumPoints() || len(dims) != len(f.Dims) {
+		t.Fatalf("round trip shape mismatch: %d points, dims %v", len(recon), dims)
+	}
+	maxErr, err := MaxAbsError(f.Data, recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1e-3*(1+1e-9) {
+		t.Fatalf("max error %g exceeds bound", maxErr)
+	}
+}
+
+func TestFacadeChunkedCampaign(t *testing.T) {
+	fields := make([]*Field, 0, 4)
+	for _, name := range FieldsOf("CESM")[:4] {
+		f, err := GenerateField("CESM", name, 32, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields = append(fields, f)
+	}
+	run := func(workers int) *CampaignResult {
+		res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+			CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 4, GroupParam: 2},
+			ChunkMB:         float64(fields[0].RawBytes()) / 3 / 1e6,
+			CompressWorkers: workers,
+			ChunkEndpoint:   EndpointConfig{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	solo, wide := run(1), run(4)
+	if solo.Chunks <= solo.Files {
+		t.Fatalf("chunk fan-out inactive: %d chunks for %d files", solo.Chunks, solo.Files)
+	}
+	if solo.ReconDigest != wide.ReconDigest {
+		t.Fatal("decompressed output differs across endpoint worker counts")
+	}
+	// The parallelism-aware wall model is exported for tooling.
+	if w := PredictParallelCompressSec([]float64{4, 1}, []int{4, 1}, 4, 0, 0); w >= 4 {
+		t.Fatalf("chunked wall %g did not divide the wide field", w)
+	}
+}

@@ -1,0 +1,152 @@
+// Command doccheck fails when a Go package exports an undocumented symbol.
+// It parses the packages in the given directories (test files excluded) and
+// reports every exported top-level function, method, type, constant, and
+// variable that has no doc comment — the gate behind `make doc-check`.
+//
+// Usage:
+//
+//	go run ./tools/doccheck <dir> [<dir>...]
+//
+// A declaration group (`const (...)`, `var (...)`) counts as documented if
+// the group has a doc comment or every exported name in it does.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <dir> [<dir>...]")
+		os.Exit(2)
+	}
+	var missing []string
+	for _, dir := range os.Args[1:] {
+		m, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		missing = append(missing, m...)
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbols:\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one directory's non-test files and returns the
+// undocumented exported symbols as "path: kind Name" strings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", filepath.ToSlash(p.Filename), p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedRecv(d) {
+						continue
+					}
+					if d.Doc.Text() == "" {
+						kind := "func"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, funcName(d))
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedRecv reports whether a method's receiver type is exported (an
+// unexported receiver makes the method unreachable outside the package, so
+// it is not part of the documented surface).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// funcName renders "Name" or "Recv.Name" for error messages.
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+// checkGenDecl handles type/const/var declarations. A documented group
+// covers its members; otherwise each exported spec needs its own comment.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	kind := d.Tok.String()
+	groupDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && s.Doc.Text() == "" && s.Comment.Text() == "" {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc.Text() != "" || s.Comment.Text() != "" {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(s.Pos(), kind, name.Name)
+				}
+			}
+		}
+	}
+}
