@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench lint cover tier1 plan-smoke doc-check
+.PHONY: build test race bench bench-json fuzz-smoke lint cover tier1 plan-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,20 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# Machine-readable codec benchmark: regenerates the CodecShootout artifact
+# and writes wall/ratio/PSNR per codec/link to BENCH_codecs.json, so the
+# codec subsystem's perf trajectory is tracked as a diffable file.
+bench-json:
+	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json
+
+# Short fuzz pass over the stream parsers: crafted streams (including
+# unknown codec magic) must error, never panic. Each target fuzzes briefly
+# from the checked-in seed corpus in internal/sz/testdata/fuzz.
+fuzz-smoke:
+	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzHeaderParse -fuzztime=5s
+	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzSplitChunked -fuzztime=5s
+	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzDecompress -fuzztime=10s
+
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
@@ -28,10 +42,12 @@ cover:
 tier1:
 	$(GO) build ./... && $(GO) test ./...
 
-# Godoc coverage gate: fails when the facade, campaign engine, or planner
-# export an undocumented symbol (tools/doccheck).
+# Godoc coverage gate: fails when the facade, campaign engine, planner,
+# codec registry, or szx codec export an undocumented symbol
+# (tools/doccheck).
 doc-check:
-	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner
+	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
+		./internal/codec ./internal/szx
 
 # Planner smoke: train-on-sweep + plan + adaptive campaign on small
 # synthetic fields, so the closed predict-then-transfer loop can't rot.

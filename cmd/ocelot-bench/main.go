@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/experiments"
 )
 
@@ -32,10 +33,14 @@ func run(args []string) error {
 	shrink := fs.Int("shrink", 16, "divide every dataset dimension by this factor")
 	seed := fs.Int64("seed", 42, "experiment seed")
 	only := fs.String("only", "", "comma-separated artifact IDs to run (default: all)")
+	codecName := fs.String("codec", "", "codec for single-codec campaign artifacts (valid: "+strings.Join(codec.Names(), ", ")+"; default sz3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scale := experiments.Scale{Shrink: *shrink, Seed: *seed}
+	if _, err := codec.Normalize(*codecName); err != nil {
+		return err
+	}
+	scale := experiments.Scale{Shrink: *shrink, Seed: *seed, Codec: *codecName}
 
 	// The shared registry is the single ordering authority: artifacts are
 	// always emitted in its canonical order (deterministic run-to-run), so

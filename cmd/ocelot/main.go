@@ -1,14 +1,15 @@
 // Command ocelot is the CLI front-end to the Ocelot pipeline:
 //
 //	ocelot generate  -app CESM -field TMQ -shrink 8 -out tmq.dat
-//	ocelot compress  -in tmq.dat -out tmq.sz -eb 1e-3 [-predictor interp]
-//	ocelot decompress -in tmq.sz -out tmq.recon.dat
+//	ocelot compress  -in tmq.dat -out tmq.sz -eb 1e-3 [-predictor interp] [-codec szx]
+//	ocelot decompress -in tmq.sz -out tmq.recon.dat   (codec detected by magic)
 //	ocelot predict   -in tmq.dat -eb 1e-3          (train-on-the-fly estimate)
 //	ocelot simulate  -app CESM -files 7182 -bytes 224000000 -ratio 7.2 \
 //	                 -route Anvil-\>Bebop
 //	ocelot campaign  -app CESM -fields 12 -pipeline -route Anvil-\>Bebop
-//	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70
-//	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop
+//	ocelot campaign  -pipeline -codec szx -route Anvil-\>Bebop
+//	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70 -codec sz3,szx
+//	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop -codec sz3,szx
 //	ocelot campaign  -pipeline -chunk-mb 0.05 -compress-workers 8 -route Anvil-\>Bebop
 //
 // All data files use the raw-binary + JSON-sidecar layout of
@@ -21,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ocelot/internal/cluster"
+	"ocelot/internal/codec"
 	"ocelot/internal/core"
 	"ocelot/internal/datagen"
 	"ocelot/internal/dataio"
@@ -98,7 +101,8 @@ func cmdCompress(args []string) error {
 	out := fs.String("out", "", "output stream path (required)")
 	eb := fs.Float64("eb", 1e-3, "error bound")
 	rel := fs.Bool("rel", true, "interpret -eb relative to the value range")
-	predictor := fs.String("predictor", "interp", "lorenzo | interp | regression")
+	predictor := fs.String("predictor", "interp", "lorenzo | interp | regression (sz3 only)")
+	codecName := fs.String("codec", "sz3", "compressor: "+strings.Join(codec.Names(), " | "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,27 +113,42 @@ func cmdCompress(args []string) error {
 	if err != nil {
 		return err
 	}
-	pred, err := sz.ParsePredictor(*predictor)
+	cdc, err := codec.Lookup(*codecName)
 	if err != nil {
 		return err
 	}
 	cfg := sz.DefaultConfig(*eb)
-	cfg.Predictor = pred
 	if *rel {
 		cfg.BoundMode = sz.BoundRelative
 	}
-	start := time.Now()
-	stream, stats, err := sz.Compress(f.Data, f.Dims, cfg)
+	// Validate -predictor regardless of codec: a typo should fail loudly
+	// even when the chosen codec has no predictor stage and ignores it.
+	pred, err := sz.ParsePredictor(*predictor)
 	if err != nil {
 		return err
+	}
+	start := time.Now()
+	var stream []byte
+	extra := ""
+	if cdc.Name() == sz.CodecName {
+		cfg.Predictor = pred
+		var stats *sz.Stats
+		if stream, stats, err = sz.Compress(f.Data, f.Dims, cfg); err != nil {
+			return err
+		}
+		extra = fmt.Sprintf(", p0=%.3f escapes=%d", stats.P0Quant, stats.NumEscapes)
+	} else {
+		if stream, err = cdc.Compress(f.Data, f.Dims, codec.Params{AbsErrorBound: cfg.AbsoluteBound(f.Data)}); err != nil {
+			return err
+		}
 	}
 	if err := dataio.SaveStream(stream, *out); err != nil {
 		return err
 	}
-	fmt.Printf("compressed %s -> %s: %d -> %d bytes (ratio %.2f) in %.3fs, p0=%.3f escapes=%d\n",
-		*in, *out, f.RawBytes(), len(stream),
+	fmt.Printf("compressed %s -> %s [%s]: %d -> %d bytes (ratio %.2f) in %.3fs%s\n",
+		*in, *out, cdc.Name(), f.RawBytes(), len(stream),
 		float64(f.RawBytes())/float64(len(stream)),
-		time.Since(start).Seconds(), stats.P0Quant, stats.NumEscapes)
+		time.Since(start).Seconds(), extra)
 	return nil
 }
 
@@ -148,8 +167,14 @@ func cmdDecompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	codecName := "?"
+	if name, err := codec.FormatName(stream); err == nil {
+		codecName = name
+	}
 	start := time.Now()
-	data, dims, err := sz.Decompress(stream)
+	// Registry dispatch: any registered codec's stream (and chunked
+	// containers) decode through the magic.
+	data, dims, err := codec.Decompress(stream)
 	if err != nil {
 		return err
 	}
@@ -157,8 +182,8 @@ func cmdDecompress(args []string) error {
 	if err := dataio.Save(f, *out); err != nil {
 		return err
 	}
-	fmt.Printf("decompressed %s -> %s: %d points in %.3fs\n",
-		*in, *out, len(data), time.Since(start).Seconds())
+	fmt.Printf("decompressed %s -> %s [%s]: %d points in %.3fs\n",
+		*in, *out, codecName, len(data), time.Since(start).Seconds())
 	if *verify != "" {
 		orig, err := dataio.Load(*verify)
 		if err != nil {
@@ -290,13 +315,28 @@ func campaignFields(app string, nFields, shrink int, seed int64) ([]*datagen.Fie
 
 // trainPlannerModel trains the quality model from a quick sweep over
 // shrunken stand-ins of the campaign fields (the planner's
-// train-on-the-fly path).
-func trainPlannerModel(app string, nFields, trainShrink int, seed int64) (*quality.Model, error) {
+// train-on-the-fly path), covering every codec in the candidate grid
+// (nil = the default sz3 grid).
+func trainPlannerModel(app string, nFields, trainShrink int, seed int64, cands []planner.Candidate) (*quality.Model, error) {
 	train, err := campaignFields(app, nFields, trainShrink, seed+1)
 	if err != nil {
 		return nil, err
 	}
-	return planner.TrainFromSweep(train, nil, dtree.Params{MaxDepth: 14})
+	return planner.TrainFromSweep(train, cands, dtree.Params{MaxDepth: 14})
+}
+
+// codecCandidates resolves a comma-separated -codec value into the
+// planner's candidate grid; a single "sz3" keeps the historical default
+// grid (nil).
+func codecCandidates(list string) ([]planner.Candidate, error) {
+	names := strings.Split(list, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if len(names) == 1 && (names[0] == "" || names[0] == sz.CodecName) {
+		return nil, nil
+	}
+	return planner.CodecCandidates(names)
 }
 
 // cmdPlan runs only the predictive plan stage: sample each field, predict
@@ -315,6 +355,7 @@ func cmdPlan(args []string) error {
 	trainShrink := fs.Int("train-shrink", 40, "shrink factor for the training sweep")
 	chunkMB := fs.Float64("chunk-mb", 0, "plan for chunk-parallel compression with this raw MB per chunk (0 = monolithic fields)")
 	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers the plan assumes (0 = -workers)")
+	codecList := fs.String("codec", "sz3", "comma-separated codec candidates for the grid (e.g. sz3,szx); valid: "+strings.Join(codec.Names(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -322,13 +363,17 @@ func cmdPlan(args []string) error {
 	if !ok {
 		return fmt.Errorf("plan: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
 	}
+	cands, err := codecCandidates(*codecList)
+	if err != nil {
+		return fmt.Errorf("plan: %w", err)
+	}
 	fields, err := campaignFields(*app, *nFields, *shrink, *seed)
 	if err != nil {
 		return fmt.Errorf("plan: %w", err)
 	}
-	fmt.Printf("training quality model (sweep at shrink %d)...\n", *trainShrink)
+	fmt.Printf("training quality model (sweep at shrink %d, codecs %s)...\n", *trainShrink, *codecList)
 	start := time.Now()
-	model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed)
+	model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed, cands)
 	if err != nil {
 		return err
 	}
@@ -338,6 +383,7 @@ func cmdPlan(args []string) error {
 		planWorkers = *compressWorkers
 	}
 	popts := planner.Options{
+		Candidates: cands,
 		MinPSNR:    *minPSNR,
 		MaxRelEB:   *maxRelEB,
 		Link:       link,
@@ -382,6 +428,7 @@ func cmdCampaign(args []string) error {
 	streams := fs.Int("streams", 0, "archives in flight at once (0 = link concurrency)")
 	chunkMB := fs.Float64("chunk-mb", 0, "chunk-parallel compression: raw MB per chunk fanned out over the faas endpoint (0 = monolithic fields)")
 	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers for chunk compression (0 = -workers)")
+	codecList := fs.String("codec", "sz3", "compressor for fixed campaigns; with -adaptive a comma-separated candidate grid (e.g. sz3,szx); valid: "+strings.Join(codec.Names(), ", "))
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -391,11 +438,19 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("campaign: %w", err)
 	}
 
+	fixedCodec := *codecList
+	if *adaptive {
+		// The plan decides per-field codecs; the global knob stays default.
+		fixedCodec = ""
+	} else if strings.Contains(fixedCodec, ",") {
+		return fmt.Errorf("campaign: -codec accepts a list only with -adaptive (got %q)", fixedCodec)
+	}
 	opts := core.PipelineOptions{
 		CampaignOptions: core.CampaignOptions{
 			RelErrorBound: *eb,
 			Workers:       *workers,
 			GroupParam:    *groups,
+			Codec:         fixedCodec,
 		},
 		TransferStreams: *streams,
 		ChunkMB:         *chunkMB,
@@ -415,15 +470,19 @@ func cmdCampaign(args []string) error {
 	switch {
 	case *adaptive:
 		engine = "adaptive"
-		fmt.Printf("training quality model (sweep at shrink %d)...\n", *trainShrink)
-		model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed)
+		cands, err := codecCandidates(*codecList)
+		if err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		fmt.Printf("training quality model (sweep at shrink %d, codecs %s)...\n", *trainShrink, *codecList)
+		model, err := trainPlannerModel(*app, *nFields, *trainShrink, *seed, cands)
 		if err != nil {
 			return err
 		}
 		res, err = core.RunPlannedCampaign(ctx, fields, core.PlanOptions{
 			PipelineOptions: opts,
 			Model:           model,
-			Planner:         planner.Options{MinPSNR: *minPSNR, Seed: *seed},
+			Planner:         planner.Options{Candidates: cands, MinPSNR: *minPSNR, Seed: *seed},
 		})
 		if err != nil {
 			return err
@@ -439,8 +498,8 @@ func cmdCampaign(args []string) error {
 		}
 	}
 
-	fmt.Printf("%s campaign: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
-		engine, res.Files, *app, float64(res.RawBytes)/1e6,
+	fmt.Printf("%s campaign [%s]: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
+		engine, res.Codec, res.Files, *app, float64(res.RawBytes)/1e6,
 		float64(res.GroupedBytes)/1e6, res.Groups, res.Ratio)
 	if res.Chunks > 0 {
 		fmt.Printf("chunk fan-out: %d chunks (%.1f MB each) over %d endpoint workers\n",

@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeCodec is a registry test double: "compression" is a magic-prefixed
+// copy of the raw float bytes.
+type fakeCodec struct {
+	name  string
+	magic uint32
+}
+
+func (f fakeCodec) Name() string  { return f.name }
+func (f fakeCodec) Magic() uint32 { return f.magic }
+
+func (f fakeCodec) Compress(data []float64, dims []int, p Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4, 4+8*len(data))
+	binary.LittleEndian.PutUint32(out, f.magic)
+	var b8 [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(b8[:], uint64(v))
+		out = append(out, b8[:]...)
+	}
+	return out, nil
+}
+
+func (f fakeCodec) Decompress(stream []byte) ([]float64, []int, error) {
+	body := stream[4:]
+	out := make([]float64, len(body)/8)
+	for i := range out {
+		out[i] = float64(binary.LittleEndian.Uint64(body[8*i : 8*i+8]))
+	}
+	return out, []int{len(out)}, nil
+}
+
+func (f fakeCodec) StreamDims(stream []byte) ([]int, error) {
+	return []int{(len(stream) - 4) / 8}, nil
+}
+
+func (f fakeCodec) Probe(data []float64, dims []int, p Params, stride int) ([]int, error) {
+	return []int{0}, nil
+}
+
+func (f fakeCodec) Caps() Caps { return Caps{} }
+
+func TestRegistryDispatch(t *testing.T) {
+	fc := fakeCodec{name: "fake-a", magic: 0xAA00AA01}
+	Register(fc)
+
+	if _, err := Lookup("fake-a"); err != nil {
+		t.Fatal(err)
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "fake-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v missing fake-a", names)
+	}
+
+	stream, err := fc.Compress([]float64{1, 2, 3}, []int{3}, Params{AbsErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Sniff(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "fake-a" {
+		t.Errorf("sniffed %q", c.Name())
+	}
+	recon, dims, err := Decompress(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != 3 || dims[0] != 3 || recon[2] != 3 {
+		t.Errorf("recon = %v dims = %v", recon, dims)
+	}
+	if d, err := StreamDims(stream); err != nil || d[0] != 3 {
+		t.Errorf("StreamDims = %v, %v", d, err)
+	}
+}
+
+func TestUnknownStreamErrors(t *testing.T) {
+	for _, s := range [][]byte{nil, {1}, {0xDE, 0xAD, 0xBE, 0xEF, 0}} {
+		if _, _, err := Decompress(s); !errors.Is(err, ErrUnknownStream) {
+			t.Errorf("Decompress(%v) err = %v, want ErrUnknownStream", s, err)
+		}
+		if _, err := Sniff(s); !errors.Is(err, ErrUnknownStream) {
+			t.Errorf("Sniff(%v) err = %v, want ErrUnknownStream", s, err)
+		}
+		if _, err := StreamDims(s); s != nil && !errors.Is(err, ErrUnknownStream) {
+			t.Errorf("StreamDims(%v) err = %v, want ErrUnknownStream", s, err)
+		}
+	}
+}
+
+func TestLookupErrorListsValidNames(t *testing.T) {
+	_, err := Lookup("no-such-codec")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-codec"`) || !strings.Contains(msg, "valid:") {
+		t.Errorf("error %q should quote the name and list valid codecs", msg)
+	}
+}
+
+func TestRegisterPanicsOnDuplicates(t *testing.T) {
+	base := fakeCodec{name: "fake-dup", magic: 0xAA00AA02}
+	Register(base)
+	mustPanic(t, "duplicate name", func() {
+		Register(fakeCodec{name: "fake-dup", magic: 0xAA00AA03})
+	})
+	mustPanic(t, "duplicate magic", func() {
+		Register(fakeCodec{name: "fake-dup2", magic: 0xAA00AA02})
+	})
+	RegisterContainer(Container{Name: "fake-container", Magic: 0xAA00AA04,
+		Decompress: func([]byte) ([]float64, []int, error) { return nil, nil, nil }})
+	mustPanic(t, "codec over container magic", func() {
+		Register(fakeCodec{name: "fake-dup3", magic: 0xAA00AA04})
+	})
+	mustPanic(t, "container over codec magic", func() {
+		RegisterContainer(Container{Name: "fake-container2", Magic: 0xAA00AA02,
+			Decompress: func([]byte) ([]float64, []int, error) { return nil, nil, nil }})
+	})
+	mustPanic(t, "nil container decode", func() {
+		RegisterContainer(Container{Name: "fake-container3", Magic: 0xAA00AA05})
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: want panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestFormatName(t *testing.T) {
+	Register(fakeCodec{name: "fake-fmt", magic: 0xAA00AA07})
+	RegisterContainer(Container{Name: "fake-fmt-container", Magic: 0xAA00AA08,
+		Decompress: func([]byte) ([]float64, []int, error) { return nil, nil, nil }})
+	if name, err := FormatName([]byte{0x07, 0xAA, 0x00, 0xAA, 1}); err != nil || name != "fake-fmt" {
+		t.Errorf("FormatName codec = %q, %v", name, err)
+	}
+	if name, err := FormatName([]byte{0x08, 0xAA, 0x00, 0xAA, 1}); err != nil || name != "fake-fmt-container" {
+		t.Errorf("FormatName container = %q, %v", name, err)
+	}
+	if _, err := FormatName([]byte{1, 2}); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("short stream err = %v", err)
+	}
+	if _, err := FormatName([]byte{9, 9, 9, 9, 9}); !errors.Is(err, ErrUnknownStream) {
+		t.Errorf("unknown magic err = %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	Register(fakeCodec{name: "fake-norm", magic: 0xAA00AA06})
+	got, err := Normalize("fake-norm")
+	if err != nil || got != "fake-norm" {
+		t.Errorf("Normalize = %q, %v", got, err)
+	}
+	if _, err := Normalize("bogus"); err == nil {
+		t.Error("want error for bogus codec")
+	}
+}
+
+func TestValidateDims(t *testing.T) {
+	if err := ValidateDims(6, []int{2, 3}); err != nil {
+		t.Error(err)
+	}
+	for _, tc := range []struct {
+		n    int
+		dims []int
+	}{
+		{3, nil},
+		{3, []int{1, 1, 1, 1, 3}},
+		{3, []int{-3}},
+		{3, []int{4}},
+	} {
+		if err := ValidateDims(tc.n, tc.dims); err == nil {
+			t.Errorf("ValidateDims(%d, %v): want error", tc.n, tc.dims)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{AbsErrorBound: 1e-3}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Params{}).Validate(); err == nil {
+		t.Error("want error for zero bound")
+	}
+}

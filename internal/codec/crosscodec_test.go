@@ -1,0 +1,115 @@
+package codec_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ocelot/internal/codec"
+	"ocelot/internal/sz"
+	_ "ocelot/internal/szx"
+)
+
+// genField synthesizes a field with smooth structure plus noise so every
+// codec exercises its full block/predictor repertoire.
+func genField(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		x := float64(i) / float64(n)
+		out[i] = 25*math.Cos(9*x) + 100*x*x + rng.NormFloat64()*0.2
+	}
+	return out
+}
+
+// TestCrossCodecRoundTripTable is the cross-codec property table: every
+// registered codec × shape × (predictor hint, where supported) must
+// round-trip within the absolute bound pointwise, decode to the original
+// shape, and dispatch back through the registry by magic alone.
+func TestCrossCodecRoundTripTable(t *testing.T) {
+	shapes := [][]int{
+		{2048},
+		{40, 50},
+		{11, 13, 17},
+		{5, 6, 7, 8},
+	}
+	bounds := []float64{1e-5, 1e-3, 1e-1}
+	for _, name := range codec.Names() {
+		if strings.HasPrefix(name, "fake-") {
+			continue // registry-test doubles from the internal test file
+		}
+		cdc, err := codec.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hints := []string{""}
+		if cdc.Caps().Predictors {
+			hints = append(hints, sz.PredictorNames()...)
+		}
+		for _, dims := range shapes {
+			n := 1
+			for _, d := range dims {
+				n *= d
+			}
+			data := genField(n, 42)
+			for _, eb := range bounds {
+				for _, hint := range hints {
+					label := fmt.Sprintf("%s/%v/eb=%g/hint=%q", name, dims, eb, hint)
+					t.Run(label, func(t *testing.T) {
+						stream, err := cdc.Compress(data, dims, codec.Params{
+							AbsErrorBound: eb,
+							PredictorHint: hint,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						sniffed, err := codec.Sniff(stream)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if sniffed.Name() != name {
+							t.Fatalf("sniffed %q, want %q", sniffed.Name(), name)
+						}
+						gotDims, err := codec.StreamDims(stream)
+						if err != nil {
+							t.Fatal(err)
+						}
+						recon, rDims, err := codec.Decompress(stream)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i, d := range dims {
+							if gotDims[i] != d || rDims[i] != d {
+								t.Fatalf("dims %v / %v, want %v", gotDims, rDims, dims)
+							}
+						}
+						if len(recon) != n {
+							t.Fatalf("%d points, want %d", len(recon), n)
+						}
+						for i := range data {
+							if d := math.Abs(data[i] - recon[i]); d > eb {
+								t.Fatalf("point %d: |err| %g exceeds bound %g", i, d, eb)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCrossCodecBadPredictorHint: a hint the codec supports but cannot
+// parse must error with the consolidated name-error text.
+func TestCrossCodecBadPredictorHint(t *testing.T) {
+	cdc, err := codec.Lookup(sz.CodecName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := genField(100, 1)
+	_, err = cdc.Compress(data, []int{100}, codec.Params{AbsErrorBound: 1e-3, PredictorHint: "bogus"})
+	if err == nil {
+		t.Fatal("want error for bogus predictor hint")
+	}
+}

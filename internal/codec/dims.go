@@ -1,0 +1,27 @@
+package codec
+
+import "fmt"
+
+// MaxDims is the highest dimensionality any registered codec accepts,
+// matching the SZ family's 1–4D support.
+const MaxDims = 4
+
+// ValidateDims checks a field shape against its data length: 1–MaxDims
+// axes, every axis positive, product equal to n. Codecs share this so the
+// campaign engine sees one error contract regardless of codec.
+func ValidateDims(n int, dims []int) error {
+	if len(dims) == 0 || len(dims) > MaxDims {
+		return fmt.Errorf("codec: unsupported dimensionality %d", len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("codec: non-positive dimension %d", d)
+		}
+		total *= d
+	}
+	if total != n {
+		return fmt.Errorf("codec: dims product %d != data length %d", total, n)
+	}
+	return nil
+}

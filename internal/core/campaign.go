@@ -10,6 +10,10 @@ import (
 	"ocelot/internal/grouping"
 	"ocelot/internal/planner"
 	"ocelot/internal/sz"
+
+	// Link every registered codec into campaign binaries so codec names
+	// resolve and mixed-codec archives decompress via registry dispatch.
+	_ "ocelot/internal/szx"
 )
 
 // CampaignOptions configures a real (in-process) compress-group-decompress
@@ -17,8 +21,12 @@ import (
 type CampaignOptions struct {
 	// RelErrorBound is applied relative to each field's value range.
 	RelErrorBound float64
-	// Predictor for the SZ pipeline; 0 = interp.
+	// Predictor for the SZ pipeline; 0 = interp. Ignored by codecs without
+	// a predictor stage.
 	Predictor sz.Predictor
+	// Codec names the registered compressor every field uses ("" = sz3).
+	// Planned campaigns override it per field with the plan's decisions.
+	Codec string
 	// Workers bounds compression/decompression parallelism; ≤ 0 = 4.
 	Workers int
 	// GroupStrategy and GroupParam control packing; 0 = ByWorldSize with
@@ -31,8 +39,12 @@ type CampaignOptions struct {
 
 // CampaignResult reports a real campaign run.
 type CampaignResult struct {
-	Files           int
-	RawBytes        int64
+	Files    int
+	RawBytes int64
+	// Codec is the registry name the campaign compressed with; "mixed"
+	// when a plan assigned different codecs to different fields (the
+	// per-field detail is in Plan.Fields).
+	Codec           string
 	CompressedBytes int64
 	Groups          int
 	GroupedBytes    int64

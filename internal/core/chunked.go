@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/sz"
@@ -21,12 +22,15 @@ const chunkFanoutEndpoint = "compress-pool"
 // chunkPayload is one chunk-compression task shipped through the fabric.
 // The data slice is the WHOLE field; the range selects the chunk, so the
 // fabric moves no copies (in-process endpoints share memory, matching the
-// paper's compress-at-the-source placement).
+// paper's compress-at-the-source placement). The codec travels with the
+// task, so one endpoint serves chunks of any registered codec.
 type chunkPayload struct {
-	data []float64
-	dims []int
-	cfg  sz.Config
-	rng  sz.ChunkRange
+	data  []float64
+	dims  []int
+	cdc   codec.Codec
+	cfg   sz.Config // sz3 path only; carries the field-level absolute bound
+	absEB float64
+	rng   sz.ChunkRange
 }
 
 // chunkFanout owns the in-process funcX-style fabric the campaign engine
@@ -48,6 +52,21 @@ func newChunkFanout(cfg faas.EndpointConfig) (*chunkFanout, error) {
 		p, ok := payload.(chunkPayload)
 		if !ok {
 			return nil, errors.New("ocelot.compressChunk: bad payload")
+		}
+		if p.cdc != nil && p.cdc.Name() != sz.CodecName {
+			// Generic codec path: the chunk is a contiguous row block, so
+			// it compresses as a standalone field under the FIELD-level
+			// absolute bound (relative bounds were resolved against the
+			// whole field upstream — decomposition never changes the
+			// guarantee).
+			row := 1
+			for _, d := range p.dims[1:] {
+				row *= d
+			}
+			sub := p.data[p.rng.Start*row : p.rng.End*row]
+			subDims := append([]int(nil), p.dims...)
+			subDims[0] = p.rng.End - p.rng.Start
+			return p.cdc.Compress(sub, subDims, codec.Params{AbsErrorBound: p.absEB})
 		}
 		stream, _, err := sz.CompressChunk(p.data, p.dims, p.cfg, p.rng)
 		return stream, err
@@ -82,11 +101,15 @@ func (cf *chunkFanout) close() {
 // size) determines the bytes. Task records are forgotten once collected so
 // the fabric does not hold a second copy of every compressed chunk for the
 // campaign's lifetime. Returns the container and the number of chunks.
-func (cf *chunkFanout) compressField(ctx context.Context, f *datagen.Field, cfg sz.Config, chunkBytes int64) ([]byte, int, error) {
+func (cf *chunkFanout) compressField(ctx context.Context, f *datagen.Field, cdc codec.Codec, cfg sz.Config, chunkBytes int64) ([]byte, int, error) {
 	ranges := sz.PlanChunksBytes(f.Dims, chunkBytes, f.ElementSize)
+	// Resolve the field-level bound once: with a relative-mode config this
+	// is a full range scan, and it is identical for every chunk.
+	absEB := cfg.AbsoluteBound(f.Data)
 	payloads := make([]interface{}, len(ranges))
 	for i, r := range ranges {
-		payloads[i] = chunkPayload{data: f.Data, dims: f.Dims, cfg: cfg, rng: r}
+		payloads[i] = chunkPayload{data: f.Data, dims: f.Dims, cdc: cdc, cfg: cfg,
+			absEB: absEB, rng: r}
 	}
 	// Context-aware submission: a cancelled campaign must not keep feeding
 	// the endpoint backlog from behind a full queue.

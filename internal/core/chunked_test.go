@@ -7,11 +7,22 @@ import (
 	"testing"
 	"time"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/metrics"
 	"ocelot/internal/sz"
 )
+
+// mustCodec resolves a registry codec or fails the test.
+func mustCodec(t *testing.T, name string) codec.Codec {
+	t.Helper()
+	c, err := codec.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
 
 // slowFanout builds a fanout whose compression function delays each chunk
 // by delay(chunkIndex) before compressing, so tests can force adversarial
@@ -58,7 +69,7 @@ func TestChunkFanoutOutOfOrderBitIdentical(t *testing.T) {
 	})
 	defer fan.close()
 
-	got, n, err := fan.compressField(context.Background(), f, cfg, chunkBytes)
+	got, n, err := fan.compressField(context.Background(), f, mustCodec(t, sz.CodecName), cfg, chunkBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +130,7 @@ func TestChunkFanoutCancellationMidField(t *testing.T) {
 	}()
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := fan.compressField(ctx, f, sz.DefaultConfig(1e-3), int64(f.NumPoints()/8*f.ElementSize))
+		_, _, err := fan.compressField(ctx, f, mustCodec(t, sz.CodecName), sz.DefaultConfig(1e-3), int64(f.NumPoints()/8*f.ElementSize))
 		done <- err
 	}()
 	select {

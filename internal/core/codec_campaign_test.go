@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/sz"
+	"ocelot/internal/szx"
+)
+
+// codecCampaignFields builds a small CESM workload.
+func codecCampaignFields(t *testing.T, n int) []*datagen.Field {
+	t.Helper()
+	names := datagen.Fields("CESM")[:n]
+	fields := make([]*datagen.Field, 0, n)
+	for _, name := range names {
+		f, err := datagen.Generate("CESM", name, 40, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields = append(fields, f)
+	}
+	return fields
+}
+
+// TestCampaignSzxCodec runs the full pipelined campaign on the szx codec:
+// compress, pack, ship, decompress via registry dispatch, verify bounds.
+func TestCampaignSzxCodec(t *testing.T) {
+	fields := codecCampaignFields(t, 6)
+	res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+		CampaignOptions: CampaignOptions{
+			RelErrorBound: 1e-3,
+			Workers:       4,
+			GroupParam:    3,
+			Codec:         szx.Name,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Codec != szx.Name {
+		t.Errorf("result codec %q, want %q", res.Codec, szx.Name)
+	}
+	if res.MaxRelError > 1e-3*(1+1e-9) {
+		t.Errorf("max relative error %g exceeds the bound", res.MaxRelError)
+	}
+	if res.Ratio <= 1 {
+		t.Errorf("ratio %.2f did not compress", res.Ratio)
+	}
+	if res.Files != 6 || res.Groups != 3 {
+		t.Errorf("files %d groups %d", res.Files, res.Groups)
+	}
+}
+
+// TestCampaignSzxChunkFanout exercises the generic codec path through the
+// chunk fan-out endpoint: szx chunks are compressed by the faas workers,
+// assembled into OCSC containers, and must round-trip within the bound.
+func TestCampaignSzxChunkFanout(t *testing.T) {
+	fields := codecCampaignFields(t, 4)
+	chunkMB := float64(fields[0].RawBytes()) / 4 / 1e6
+	res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+		CampaignOptions: CampaignOptions{
+			RelErrorBound: 1e-3,
+			Workers:       4,
+			GroupParam:    2,
+			Codec:         szx.Name,
+		},
+		ChunkMB:         chunkMB,
+		CompressWorkers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks <= res.Files {
+		t.Errorf("fields did not split: %d chunks for %d fields", res.Chunks, res.Files)
+	}
+	if res.MaxRelError > 1e-3*(1+1e-9) {
+		t.Errorf("max relative error %g exceeds the bound", res.MaxRelError)
+	}
+	if res.ReconDigest == 0 {
+		t.Error("fan-out campaign should report a reconstruction digest")
+	}
+}
+
+// TestCampaignMixedCodecs drives the engine with per-field codec
+// settings (what a planned campaign does): sz3 and szx members share
+// group archives and the verify stage dispatches per member.
+func TestCampaignMixedCodecs(t *testing.T) {
+	fields := codecCampaignFields(t, 4)
+	settings := make([]fieldSetting, len(fields))
+	for i := range settings {
+		settings[i] = fieldSetting{relEB: 1e-3, codec: sz.CodecName}
+		if i%2 == 1 {
+			settings[i].codec = szx.Name
+		}
+	}
+	res, err := runCampaign(context.Background(), fields, CampaignOptions{
+		Workers:    4,
+		GroupParam: 2,
+	}, campaignMode{
+		pipelined:       true,
+		transport:       NopTransport{},
+		transferStreams: 2,
+		perField:        settings,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Codec != "mixed" {
+		t.Errorf("result codec %q, want mixed", res.Codec)
+	}
+	if res.MaxRelError > 1e-3*(1+1e-9) {
+		t.Errorf("max relative error %g exceeds the bound", res.MaxRelError)
+	}
+}
+
+// TestCampaignUnknownCodecFailsFast: a typo'd codec name errors before
+// any compression starts, citing the valid names.
+func TestCampaignUnknownCodecFailsFast(t *testing.T) {
+	fields := codecCampaignFields(t, 2)
+	_, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+		CampaignOptions: CampaignOptions{
+			RelErrorBound: 1e-3,
+			Codec:         "zstd",
+		},
+	})
+	if err == nil {
+		t.Fatal("want error for unknown codec")
+	}
+	if !strings.Contains(err.Error(), "valid:") {
+		t.Errorf("error %q should list the valid codec names", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
@@ -97,6 +98,7 @@ func (o PipelineOptions) chunkMode() (chunkBytes int64, workers int, ep faas.End
 type fieldSetting struct {
 	relEB     float64
 	predictor sz.Predictor
+	codec     string // registry name; "" inherits the campaign codec
 }
 
 // RunPipelinedCampaign is the streaming version of RunCampaign: fields are
@@ -249,10 +251,19 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		buffer = workers
 	}
 
-	res := &CampaignResult{Files: len(fields), Pipelined: mode.pipelined}
+	// Resolve the campaign codec once; per-field plan decisions override
+	// it below. Every name is validated against the registry before any
+	// compression starts, so a typo fails fast instead of mid-pipeline.
+	globalCodec, err := codec.Normalize(opts.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	res := &CampaignResult{Files: len(fields), Pipelined: mode.pipelined, Codec: globalCodec}
 	absEBs := make([]float64, len(fields))
 	ranges := make([]float64, len(fields))
 	preds := make([]sz.Predictor, len(fields))
+	codecs := make([]codec.Codec, len(fields))
 	byName := make(map[string]int, len(fields))
 	ps := &packState{names: make([]string, len(fields)), streams: make(map[int][]byte)}
 	for i, f := range fields {
@@ -264,16 +275,30 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		ranges[i] = r
 		relEB := opts.RelErrorBound
 		preds[i] = opts.Predictor
+		codecName := globalCodec
 		if mode.perField != nil {
 			if s := mode.perField[i]; s.relEB > 0 {
 				relEB = s.relEB
 				if s.predictor != 0 {
 					preds[i] = s.predictor
 				}
+				if s.codec != "" {
+					codecName = s.codec
+				}
 			}
 		}
 		if relEB <= 0 {
 			return nil, fmt.Errorf("core: field %d has no error bound", i)
+		}
+		if codecs[i], err = codec.Lookup(codecName); err != nil {
+			return nil, fmt.Errorf("core: field %d: %w", i, err)
+		}
+		// Report the codec the campaign actually ran: the common per-field
+		// codec, or "mixed" when a plan split the fields across codecs.
+		if i == 0 {
+			res.Codec = codecName
+		} else if codecName != res.Codec {
+			res.Codec = "mixed"
 		}
 		absEBs[i] = relEB * r
 		ps.names[i] = f.ID() + ".sz"
@@ -306,16 +331,23 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			}
 			var stream []byte
 			var err error
-			if fan != nil {
+			switch {
+			case fan != nil:
 				// Chunk fan-out: this stage worker only batches chunk tasks
 				// onto the endpoint and assembles the completions; the
 				// endpoint's worker pool is the actual compression
-				// parallelism.
+				// parallelism. The chunk tasks carry the field's codec.
 				var n int
-				stream, n, err = fan.compressField(ctx, fields[i], cfg, mode.chunkBytes)
+				stream, n, err = fan.compressField(ctx, fields[i], codecs[i], cfg, mode.chunkBytes)
 				totalChunks.Add(int64(n))
-			} else {
+			case codecs[i].Name() == sz.CodecName:
+				// The sz3 path keeps its richer Config (predictor choice,
+				// future knobs) rather than flattening through the
+				// codec-neutral Params.
 				stream, _, err = sz.Compress(fields[i].Data, fields[i].Dims, cfg)
+			default:
+				stream, err = codecs[i].Compress(fields[i].Data, fields[i].Dims,
+					codec.Params{AbsErrorBound: absEBs[i]})
 			}
 			if err != nil {
 				return compressedItem{}, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
@@ -371,7 +403,11 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 				if !ok {
 					return verifiedGroup{}, fmt.Errorf("core: unknown member %q", m.Name)
 				}
-				recon, dims, err := sz.Decompress(m.Data)
+				// Registry dispatch on the member's own magic: grouped
+				// archives may mix codecs (per-field plan decisions), and
+				// pre-codec sz3 archives decode through the same path
+				// byte-identically.
+				recon, dims, err := codec.Decompress(m.Data)
 				if err != nil {
 					return verifiedGroup{}, fmt.Errorf("decompress %s: %w", m.Name, err)
 				}

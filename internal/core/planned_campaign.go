@@ -86,7 +86,7 @@ func RunPlannedCampaign(ctx context.Context, fields []*datagen.Field, opts PlanO
 
 	settings := make([]fieldSetting, len(plan.Fields))
 	for i, fp := range plan.Fields {
-		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor}
+		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor, codec: fp.Codec}
 	}
 	chunkBytes, cw, ep := opts.PipelineOptions.chunkMode()
 	res, err := runCampaign(ctx, fields, copts, campaignMode{

@@ -77,6 +77,7 @@ func ParallelCompression(scale Scale) (*Result, error) {
 				RelErrorBound: 1e-3,
 				Workers:       8, // submitters + decompression, equal in every run
 				GroupParam:    4,
+				Codec:         scale.Codec,
 			},
 			// Fresh transport per run: pacing state is shared per instance.
 			Transport:       &core.SimulatedWANTransport{Link: link, Timescale: 1},
@@ -109,12 +110,13 @@ func ParallelCompression(scale Scale) (*Result, error) {
 		}
 		train = append(train, f)
 	}
-	model, err := planner.TrainFromSweep(train, nil, dtree.Params{MaxDepth: 14})
+	cands := []planner.Candidate{{RelEB: 1e-3, Codec: scale.Codec}}
+	model, err := planner.TrainFromSweep(train, cands, dtree.Params{MaxDepth: 14})
 	if err != nil {
 		return nil, err
 	}
 	plan, err := planner.Build(fields, model, planner.Options{
-		Candidates:       []planner.Candidate{{RelEB: 1e-3}},
+		Candidates:       cands,
 		Workers:          8,
 		ChunkBytes:       int64(chunkMB * 1e6),
 		ChunkDispatchSec: parallelDispatch.Seconds(),

@@ -37,6 +37,7 @@ func Drivers() []Driver {
 		{"Pipeline", PipelineOverlap},
 		{"Planner", Planner},
 		{"ParallelCompression", ParallelCompression},
+		{"CodecShootout", CodecShootout},
 	}
 }
 

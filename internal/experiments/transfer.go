@@ -234,6 +234,7 @@ func PipelineOverlap(scale Scale) (*Result, error) {
 			RelErrorBound: 1e-3,
 			Workers:       4,
 			GroupParam:    6,
+			Codec:         scale.Codec,
 		},
 		Transport:       &core.SimulatedWANTransport{Link: link, Timescale: 1},
 		TransferStreams: 2,

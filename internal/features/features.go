@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/huffman"
 	"ocelot/internal/metrics"
 	"ocelot/internal/quant"
@@ -72,6 +73,11 @@ type Options struct {
 	// EntropySampleCap bounds how many values feed the byte-entropy
 	// estimate; ≤ 0 selects 1<<16.
 	EntropySampleCap int
+	// Codec selects whose sampling probe produces the compressor-based
+	// features ("" = the default sz3 codec). The quality predictor trains
+	// one tree set per codec, so features must come from the probe of the
+	// codec whose outcome they predict.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
@@ -126,9 +132,20 @@ func Extract(data []float64, dims []int, cfg sz.Config, opts Options) (*Vector, 
 	// across applications whose scales differ by orders of magnitude.
 	v.LorenzoError = math.Log10(le + 1e-18)
 
-	// Compressor-based: quantize the subsample, then derive p0 / P0 /
-	// quantization entropy / Rrle from the sampled bin distribution.
-	codes, err := sz.SampledCodes(data, dims, cfg, opts.SampleStride)
+	// Compressor-based: quantize the subsample with the target codec's own
+	// probe, then derive p0 / P0 / quantization entropy / Rrle from the
+	// sampled bin distribution.
+	var codes []int
+	if opts.Codec == "" || opts.Codec == sz.CodecName {
+		codes, err = sz.SampledCodes(data, dims, cfg, opts.SampleStride)
+	} else {
+		var cdc codec.Codec
+		cdc, err = codec.Lookup(opts.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("features: %w", err)
+		}
+		codes, err = cdc.Probe(data, dims, codec.Params{AbsErrorBound: cfg.AbsoluteBound(data)}, opts.SampleStride)
+	}
 	if err != nil {
 		return nil, err
 	}

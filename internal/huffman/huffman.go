@@ -266,6 +266,12 @@ func Decode(stream []byte) ([]int, error) {
 		return nil, ErrCorrupt
 	}
 	payload := rest[8:]
+	// Every symbol consumes at least one payload bit, so a count beyond
+	// the payload's bit length is a lie — reject it before allocating
+	// count ints (a crafted 16-byte stream must not demand terabytes).
+	if count > uint64(len(payload))*8 {
+		return nil, ErrCorrupt
+	}
 	dec, err := newDecoder(t)
 	if err != nil {
 		return nil, err

@@ -84,6 +84,13 @@ func Decompress(stream []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	body := stream[9:]
+	// The size prefix is attacker-controlled until the body actually
+	// inflates. Deflate tops out near 1032:1 and LZSS near 1366:1, so a
+	// claimed size beyond 4096× the body is a lie — reject it before
+	// allocating (a crafted 50-byte stream must not demand terabytes).
+	if size > 4096*uint64(len(body))+64 {
+		return nil, ErrCorrupt
+	}
 	switch backend {
 	case None:
 		if uint64(len(body)) != size {

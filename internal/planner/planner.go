@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
 	"ocelot/internal/grouping"
@@ -28,9 +29,21 @@ import (
 type Candidate struct {
 	// RelEB is the value-range-relative error bound.
 	RelEB float64
-	// Predictor selects the SZ pipeline; 0 means interp.
+	// Predictor selects the SZ pipeline; 0 means interp. Ignored by codecs
+	// without a predictor stage.
 	Predictor sz.Predictor
+	// Codec names the registered codec; empty means sz3. The grid is
+	// therefore rel-EB × predictor × codec, and the planner becomes a
+	// genuine codec-picker: a speed-optimized codec wins on links fast
+	// enough that compression time dominates, the high-ratio codec on
+	// links where every byte moved is expensive.
+	Codec string
 }
+
+// defaultRelEBs is the relative-error-bound sweep shared by every
+// candidate grid builder, so sz3 and non-sz3 candidates always cover the
+// same bounds.
+var defaultRelEBs = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
 
 // DefaultCandidates spans four decades of relative error bound in
 // half-decade steps for both the interpolation (high-ratio) and Lorenzo
@@ -39,14 +52,61 @@ type Candidate struct {
 // half-decade of bound, so a coarser grid would park every field on the
 // same side of any quality floor.
 func DefaultCandidates() []Candidate {
-	ebs := []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
-	out := make([]Candidate, 0, 2*len(ebs))
+	out := make([]Candidate, 0, 2*len(defaultRelEBs))
 	for _, p := range []sz.Predictor{sz.PredictorInterp, sz.PredictorLorenzo} {
-		for _, eb := range ebs {
+		for _, eb := range defaultRelEBs {
 			out = append(out, Candidate{RelEB: eb, Predictor: p})
 		}
 	}
 	return out
+}
+
+// CodecCandidates builds the cross grid over the given registered codecs:
+// for sz3 the usual predictor × bound sweep (DefaultCandidates), for
+// codecs without predictor support one candidate per bound. sz3 (when
+// present) is emitted first so the no-model fallback degrades to the most
+// conservative high-fidelity pipeline. Unknown codec names error with the
+// registry's valid list.
+func CodecCandidates(codecNames []string) ([]Candidate, error) {
+	seen := map[string]bool{}
+	norm := make([]string, 0, len(codecNames))
+	for _, name := range codecNames {
+		c, err := codec.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("planner: %w", err)
+		}
+		if !seen[c.Name()] {
+			seen[c.Name()] = true
+			norm = append(norm, c.Name())
+		}
+	}
+	if len(norm) == 0 {
+		return nil, errors.New("planner: no codecs for candidate grid")
+	}
+	sort.SliceStable(norm, func(i, j int) bool {
+		if (norm[i] == codec.DefaultName) != (norm[j] == codec.DefaultName) {
+			return norm[i] == codec.DefaultName
+		}
+		return norm[i] < norm[j]
+	})
+	var out []Candidate
+	for _, name := range norm {
+		if name == codec.DefaultName {
+			out = append(out, DefaultCandidates()...)
+			continue
+		}
+		c, _ := codec.Lookup(name)
+		preds := []sz.Predictor{0}
+		if c.Caps().Predictors {
+			preds = []sz.Predictor{sz.PredictorInterp, sz.PredictorLorenzo}
+		}
+		for _, p := range preds {
+			for _, eb := range defaultRelEBs {
+				out = append(out, Candidate{RelEB: eb, Predictor: p, Codec: name})
+			}
+		}
+	}
+	return out, nil
 }
 
 // Options tunes the planning pass.
@@ -98,7 +158,9 @@ type FieldPlan struct {
 	Field     string       `json:"field"`
 	RelEB     float64      `json:"relEb"`
 	Predictor sz.Predictor `json:"predictor"`
-	RawBytes  int64        `json:"rawBytes"`
+	// Codec is the registry name of the chosen compressor ("sz3", "szx").
+	Codec    string `json:"codec"`
+	RawBytes int64  `json:"rawBytes"`
 
 	// Predictions for the chosen configuration (zero when Fallback).
 	PredRatio float64 `json:"predRatio"`
@@ -141,7 +203,9 @@ type Plan struct {
 }
 
 // Config materializes the sz.Config for field i: a range-relative bound at
-// the planned RelEB with the planned predictor.
+// the planned RelEB with the planned predictor. Only meaningful for
+// fields planned onto the sz3 codec; other codecs take the bound alone
+// (see FieldPlan.Codec).
 func (p *Plan) Config(i int) sz.Config {
 	fp := p.Fields[i]
 	cfg := sz.DefaultConfig(fp.RelEB)
@@ -153,15 +217,19 @@ func (p *Plan) Config(i int) sz.Config {
 // String renders the plan as the per-field decision table the CLI prints.
 func (p *Plan) String() string {
 	var sb strings.Builder
-	sb.WriteString(fmt.Sprintf("%-22s %10s %12s %10s %10s %10s\n",
-		"field", "rel-eb", "predictor", "ratio", "PSNR(dB)", "comp(s)"))
+	sb.WriteString(fmt.Sprintf("%-22s %10s %6s %12s %10s %10s %10s\n",
+		"field", "rel-eb", "codec", "predictor", "ratio", "PSNR(dB)", "comp(s)"))
 	for _, fp := range p.Fields {
 		note := ""
 		if fp.Fallback {
 			note = "  (fallback)"
 		}
-		sb.WriteString(fmt.Sprintf("%-22s %10.0e %12s %10.1f %10.1f %10.3f%s\n",
-			fp.Field, fp.RelEB, fp.Predictor, fp.PredRatio, fp.PredPSNR, fp.PredSec, note))
+		pred := "-"
+		if fp.Codec == "" || fp.Codec == codec.DefaultName {
+			pred = fp.Predictor.String()
+		}
+		sb.WriteString(fmt.Sprintf("%-22s %10.0e %6s %12s %10.1f %10.1f %10.3f%s\n",
+			fp.Field, fp.RelEB, normCodec(fp.Codec), pred, fp.PredRatio, fp.PredPSNR, fp.PredSec, note))
 	}
 	sb.WriteString(fmt.Sprintf("grouping: %s param=%d\n", p.GroupStrategy, p.GroupParam))
 	if p.ChunkBytes > 0 {
@@ -223,8 +291,30 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 	if err != nil {
 		return nil, err
 	}
-	canScore := model != nil
-	canFloor := opts.MinPSNR <= 0 || (model != nil && model.PSNR != nil)
+	// A candidate is only scoreable when the model carries trees for its
+	// codec — and, under a PSNR floor, a PSNR tree for that codec. Filter
+	// up front so a grid mentioning an untrained codec degrades exactly
+	// like an untrained model instead of erroring mid-plan.
+	// Resolve candidate codec names before consulting the model: an empty
+	// Candidate.Codec means sz3 (normCodec), NOT "whatever codec the model
+	// happens to default to" — a model trained only for szx must never
+	// silently score sz3 candidates with szx trees.
+	scoreable := cands
+	if model != nil {
+		scoreable = make([]Candidate, 0, len(cands))
+		for _, c := range cands {
+			sub, err := model.ForCodec(normCodec(c.Codec))
+			if err != nil || sub.Ratio == nil || sub.Time == nil {
+				continue
+			}
+			if opts.MinPSNR > 0 && sub.PSNR == nil {
+				continue
+			}
+			scoreable = append(scoreable, c)
+		}
+	}
+	canScore := model != nil && len(scoreable) > 0
+	canFloor := opts.MinPSNR <= 0 || canScore
 
 	plan := &Plan{
 		Fields:        make([]FieldPlan, len(fields)),
@@ -240,6 +330,7 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 		if !canScore || !canFloor {
 			// No usable model: most conservative candidate, no predictions.
 			fp.RelEB, fp.Predictor = cands[0].RelEB, normPred(cands[0].Predictor)
+			fp.Codec = normCodec(cands[0].Codec)
 			fp.Fallback = true
 			fp.PredBytes = raw
 			plan.Fields[i] = fp
@@ -254,31 +345,35 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 		// Sparse trees can predict a *lower* ratio, *slower* compression,
 		// or *higher* PSNR at a looser bound — all physically impossible
 		// for this compressor family. Repair predictions to be monotone in
-		// the bound (cands is sorted ascending) so training noise can
-		// never trick the planner into assigning a tighter bound while
-		// predicting it cheaper, or let a loose bound game the PSNR floor
-		// by out-predicting a tighter one.
-		monoRatio := map[sz.Predictor]float64{}
-		monoSec := map[sz.Predictor]float64{}
-		monoPSNR := map[sz.Predictor]float64{}
-		for ci, c := range cands {
-			est, err := model.EstimateField(f.Data, f.Dims, c.RelEB, c.Predictor)
+		// the bound (cands is sorted ascending) per (codec, predictor)
+		// pipeline, so training noise can never trick the planner into
+		// assigning a tighter bound while predicting it cheaper, or let a
+		// loose bound game the PSNR floor by out-predicting a tighter one.
+		type pipeKey struct {
+			codec string
+			pred  sz.Predictor
+		}
+		monoRatio := map[pipeKey]float64{}
+		monoSec := map[pipeKey]float64{}
+		monoPSNR := map[pipeKey]float64{}
+		for ci, c := range scoreable {
+			est, err := model.EstimateFieldCodec(f.Data, f.Dims, c.RelEB, c.Predictor, normCodec(c.Codec))
 			if err != nil {
 				return nil, fmt.Errorf("planner: estimate %s @%g: %w", f.ID(), c.RelEB, err)
 			}
-			p := normPred(c.Predictor)
-			if prev, ok := monoRatio[p]; ok && est.Ratio < prev {
+			k := pipeKey{codec: normCodec(c.Codec), pred: normPred(c.Predictor)}
+			if prev, ok := monoRatio[k]; ok && est.Ratio < prev {
 				est.Ratio = prev
 			}
-			monoRatio[p] = est.Ratio
-			if prev, ok := monoSec[p]; ok && est.Seconds > prev {
+			monoRatio[k] = est.Ratio
+			if prev, ok := monoSec[k]; ok && est.Seconds > prev {
 				est.Seconds = prev
 			}
-			monoSec[p] = est.Seconds
-			if prev, ok := monoPSNR[p]; ok && est.PSNR > prev {
+			monoSec[k] = est.Seconds
+			if prev, ok := monoPSNR[k]; ok && est.PSNR > prev {
 				est.PSNR = prev
 			}
-			monoPSNR[p] = est.PSNR
+			monoPSNR[k] = est.PSNR
 			if est.PSNR > floorPSNR {
 				floorIdx, floorPSNR, floorEst = ci, est.PSNR, est
 			}
@@ -291,7 +386,7 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 			// for nothing otherwise.
 			better := score < bestScore*(1-1e-9)
 			tied := !better && score <= bestScore*(1+1e-9)
-			if better || (tied && best >= 0 && c.RelEB > cands[best].RelEB) {
+			if better || (tied && best >= 0 && c.RelEB > scoreable[best].RelEB) {
 				best, bestScore, bestEst = ci, math.Min(bestScore, score), est
 			}
 		}
@@ -301,7 +396,8 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 			best, bestEst = floorIdx, floorEst
 			fp.Fallback = true
 		}
-		fp.RelEB, fp.Predictor = cands[best].RelEB, normPred(cands[best].Predictor)
+		fp.RelEB, fp.Predictor = scoreable[best].RelEB, normPred(scoreable[best].Predictor)
+		fp.Codec = normCodec(scoreable[best].Codec)
 		fp.PredRatio = bestEst.Ratio
 		fp.PredPSNR = bestEst.PSNR
 		fp.PredSec = bestEst.Seconds
@@ -406,6 +502,15 @@ func normPred(p sz.Predictor) sz.Predictor {
 		return sz.PredictorInterp
 	}
 	return p
+}
+
+// normCodec resolves the candidate convention that an empty codec means
+// the default, so plans always record the codec that actually runs.
+func normCodec(name string) string {
+	if name == "" {
+		return codec.DefaultName
+	}
+	return name
 }
 
 // predBytes converts a predicted ratio into a predicted compressed size.
@@ -520,56 +625,89 @@ func FixedBaseline(fields []*datagen.Field, model *quality.Model, opts Options) 
 	return bounds[len(bounds)-1], nil
 }
 
-// TrainFromSweep collects ground truth for every distinct predictor and
-// error bound in the candidate grid over the training fields (with PSNR,
-// since the floor needs it) and fits the quality model — the "train one
-// from a quick sweep" path when no pre-trained predictor is available.
-// Training fields are typically shrunken stand-ins; the features
-// generalize across scales. The ratio and PSNR trees are deterministic in
-// the inputs; the time tree regresses *measured* compression seconds, so
-// two sweeps can legitimately differ there and near-tied speed choices
-// (e.g. lorenzo vs interp at the same bound) may flip between runs.
+// TrainFromSweep collects ground truth for every distinct codec,
+// predictor, and error bound in the candidate grid over the training
+// fields (with PSNR, since the floor needs it) and fits the quality model
+// — the "train one from a quick sweep" path when no pre-trained predictor
+// is available. Each codec in the grid gets its own tree set (the default
+// codec's at the model's top level), because the feature→outcome mapping
+// is codec-specific. Training fields are typically shrunken stand-ins;
+// the features generalize across scales. The ratio and PSNR trees are
+// deterministic in the inputs; the time tree regresses *measured*
+// compression seconds, so two sweeps can legitimately differ there and
+// near-tied speed choices (e.g. lorenzo vs interp at the same bound, or
+// szx vs sz3 near a link's crossover) may flip between runs.
 func TrainFromSweep(train []*datagen.Field, candidates []Candidate, params dtree.Params) (*quality.Model, error) {
 	if candidates == nil {
 		candidates = DefaultCandidates()
 	}
-	byPred := map[sz.Predictor][]float64{}
-	for _, c := range candidates {
-		p := c.Predictor
-		if p == 0 {
-			p = sz.PredictorInterp
-		}
-		byPred[p] = append(byPred[p], c.RelEB)
-	}
-	// Deterministic predictor order: sample order feeds the tree trainer,
-	// whose tie-breaks depend on it, and plans must reproduce run to run.
-	preds := make([]sz.Predictor, 0, len(byPred))
-	for p := range byPred {
-		preds = append(preds, p)
-	}
-	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
-	var samples []quality.Sample
-	for _, p := range preds {
-		ebs := byPred[p]
-		sort.Float64s(ebs)
-		dedup := ebs[:0]
-		for _, eb := range ebs {
-			if len(dedup) == 0 || dedup[len(dedup)-1] != eb {
-				dedup = append(dedup, eb)
-			}
-		}
-		s, err := quality.Collect(train, quality.CollectOptions{
-			ErrorBounds: dedup,
-			Predictor:   p,
-			WithPSNR:    true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, s...)
-	}
 	if params.MaxDepth == 0 {
 		params.MaxDepth = 14
 	}
-	return quality.Train(samples, params)
+	byCodec := map[string]map[sz.Predictor][]float64{}
+	for _, c := range candidates {
+		name := normCodec(c.Codec)
+		if byCodec[name] == nil {
+			byCodec[name] = map[sz.Predictor][]float64{}
+		}
+		p := normPred(c.Predictor)
+		byCodec[name][p] = append(byCodec[name][p], c.RelEB)
+	}
+	// Deterministic codec/predictor order: sample order feeds the tree
+	// trainer, whose tie-breaks depend on it, and plans must reproduce run
+	// to run. The default codec trains first and owns the top-level trees.
+	codecNames := make([]string, 0, len(byCodec))
+	for name := range byCodec {
+		codecNames = append(codecNames, name)
+	}
+	sort.SliceStable(codecNames, func(i, j int) bool {
+		if (codecNames[i] == codec.DefaultName) != (codecNames[j] == codec.DefaultName) {
+			return codecNames[i] == codec.DefaultName
+		}
+		return codecNames[i] < codecNames[j]
+	})
+	var model *quality.Model
+	for _, name := range codecNames {
+		byPred := byCodec[name]
+		preds := make([]sz.Predictor, 0, len(byPred))
+		for p := range byPred {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		var samples []quality.Sample
+		for _, p := range preds {
+			ebs := byPred[p]
+			sort.Float64s(ebs)
+			dedup := ebs[:0]
+			for _, eb := range ebs {
+				if len(dedup) == 0 || dedup[len(dedup)-1] != eb {
+					dedup = append(dedup, eb)
+				}
+			}
+			s, err := quality.Collect(train, quality.CollectOptions{
+				ErrorBounds: dedup,
+				Predictor:   p,
+				Codec:       name,
+				WithPSNR:    true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s...)
+		}
+		sub, err := quality.Train(samples, params)
+		if err != nil {
+			return nil, fmt.Errorf("planner: train %s: %w", name, err)
+		}
+		if model == nil {
+			model = sub
+			model.DefaultCodec = name
+			continue
+		}
+		if model.Codecs == nil {
+			model.Codecs = map[string]*quality.Model{}
+		}
+		model.Codecs[name] = sub
+	}
+	return model, nil
 }

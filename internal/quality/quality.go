@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
 	"ocelot/internal/features"
@@ -47,8 +49,13 @@ type Sample struct {
 type CollectOptions struct {
 	// ErrorBounds to sweep; nil selects DefaultErrorBounds.
 	ErrorBounds []float64
-	// Predictor for the compression pipeline; 0 selects interp.
+	// Predictor for the compression pipeline; 0 selects interp. Only
+	// meaningful for codecs whose Caps report predictor support (sz3).
 	Predictor sz.Predictor
+	// Codec names the registered codec whose ground truth is collected
+	// ("" = sz3). Features are extracted with the same codec's probe, so
+	// the trained trees predict that codec's ratio/time/PSNR.
+	Codec string
 	// SampleStride for feature extraction; ≤ 0 selects 100.
 	SampleStride int
 	// WithPSNR also decompresses to measure distortion (2× slower).
@@ -74,6 +81,16 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 	now := opts.Now
 	if now == nil {
 		now = time.Now
+	}
+	codecName, err := codec.Normalize(opts.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("quality: %w", err)
+	}
+	var cdc codec.Codec
+	if codecName != sz.CodecName {
+		if cdc, err = codec.Lookup(codecName); err != nil {
+			return nil, fmt.Errorf("quality: %w", err)
+		}
 	}
 	samples := make([]Sample, 0, len(fields)*len(ebs))
 	for _, f := range fields {
@@ -104,6 +121,7 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 			}
 			fv, err := features.Extract(f.Data, f.Dims, cfg, features.Options{
 				SampleStride: stride,
+				Codec:        codecName,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("quality: extract %s eb=%g: %w", f.ID(), eb, err)
@@ -114,7 +132,12 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 			vec[0] = math.Log10(eb)
 
 			start := now()
-			stream, _, err := sz.Compress(f.Data, f.Dims, cfg)
+			var stream []byte
+			if cdc != nil {
+				stream, err = cdc.Compress(f.Data, f.Dims, codec.Params{AbsErrorBound: eb * rng})
+			} else {
+				stream, _, err = sz.Compress(f.Data, f.Dims, cfg)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("quality: compress %s eb=%g: %w", f.ID(), eb, err)
 			}
@@ -129,7 +152,7 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 				Points:   f.NumPoints(),
 			}
 			if opts.WithPSNR {
-				recon, _, err := sz.Decompress(stream)
+				recon, _, err := codec.Decompress(stream)
 				if err != nil {
 					return nil, fmt.Errorf("quality: decompress %s: %w", f.ID(), err)
 				}
@@ -148,11 +171,58 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 	return samples, nil
 }
 
-// Model bundles the three regressors of the paper's predictor.
+// Model bundles the three regressors of the paper's predictor. The
+// top-level trees belong to one codec (DefaultCodec, historically sz3);
+// additional codecs carry their own tree sets under Codecs, because the
+// mapping from features to ratio/time/PSNR is codec-specific — an
+// ultra-fast codec is cheap everywhere and compresses less everywhere,
+// and the planner needs both curves to trade speed against ratio.
 type Model struct {
 	Ratio *dtree.Tree `json:"ratio"`
 	Time  *dtree.Tree `json:"time"`
 	PSNR  *dtree.Tree `json:"psnr,omitempty"`
+	// DefaultCodec names the codec the top-level trees were trained for;
+	// empty means sz3 (so models saved before the codec registry existed
+	// load unchanged).
+	DefaultCodec string `json:"defaultCodec,omitempty"`
+	// Codecs holds tree sets for additional codecs, keyed by registry
+	// name. Sub-models never nest further.
+	Codecs map[string]*Model `json:"codecs,omitempty"`
+}
+
+// CodecNames lists the codecs this model can estimate, default first,
+// the rest sorted.
+func (m *Model) CodecNames() []string {
+	def := m.DefaultCodec
+	if def == "" {
+		def = sz.CodecName
+	}
+	out := []string{def}
+	rest := make([]string, 0, len(m.Codecs))
+	for name := range m.Codecs {
+		if name != def {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// ForCodec returns the tree set for a codec name ("" = the model's
+// default). Errors name the codecs the model actually covers.
+func (m *Model) ForCodec(name string) (*Model, error) {
+	def := m.DefaultCodec
+	if def == "" {
+		def = sz.CodecName
+	}
+	if name == "" || name == def {
+		return m, nil
+	}
+	if sub, ok := m.Codecs[name]; ok && sub != nil {
+		return sub, nil
+	}
+	return nil, fmt.Errorf("quality: model has no trees for %w",
+		codec.UnknownName("codec", name, m.CodecNames()))
 }
 
 // Train fits the model on samples. PSNR training is skipped when the
@@ -226,8 +296,29 @@ func (m *Model) EstimateFromFeatures(fv []float64, numPoints int) (*Estimate, er
 // EstimateField extracts features from data (cheap sampling pass) and
 // predicts the quality of compressing it with the given relative error
 // bound. relEB is interpreted against the field's value range, matching the
-// training convention.
+// training convention. The model's default codec is assumed; use
+// EstimateFieldCodec to score another registered codec.
 func (m *Model) EstimateField(data []float64, dims []int, relEB float64, pred sz.Predictor) (*Estimate, error) {
+	return m.EstimateFieldCodec(data, dims, relEB, pred, "")
+}
+
+// EstimateFieldCodec is EstimateField against a specific codec's trees:
+// features come from that codec's sampling probe and predictions from its
+// tree set, so the planner can score the same field under every codec in
+// its candidate grid.
+func (m *Model) EstimateFieldCodec(data []float64, dims []int, relEB float64, pred sz.Predictor, codecName string) (*Estimate, error) {
+	sub, err := m.ForCodec(codecName)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve "" to the codec the trees were actually trained for before
+	// extracting features: a model whose default is not sz3 must probe
+	// with its own codec, or the compressor features feed the wrong trees.
+	if codecName == "" {
+		if codecName = m.DefaultCodec; codecName == "" {
+			codecName = sz.CodecName
+		}
+	}
 	rng := metrics.ComputeRange(data).Range
 	if rng <= 0 {
 		rng = 1
@@ -243,13 +334,16 @@ func (m *Model) EstimateField(data []float64, dims []int, relEB float64, pred sz
 	if stride > 100 {
 		stride = 100
 	}
-	fv, err := features.Extract(data, dims, cfg, features.Options{SampleStride: stride})
+	fv, err := features.Extract(data, dims, cfg, features.Options{
+		SampleStride: stride,
+		Codec:        codecName,
+	})
 	if err != nil {
 		return nil, err
 	}
 	vec := fv.Slice()
 	vec[0] = math.Log10(relEB)
-	return m.EstimateFromFeatures(vec, len(data))
+	return sub.EstimateFromFeatures(vec, len(data))
 }
 
 // SplitTrainTest partitions samples with the given training fraction.

@@ -3,6 +3,8 @@ package sz
 import (
 	"encoding/binary"
 	"fmt"
+
+	"ocelot/internal/codec"
 )
 
 // chunkMagic identifies an Ocelot-SZ chunked container ("OCSC"). It is
@@ -132,8 +134,10 @@ func CompressChunk(data []float64, dims []int, cfg Config, r ChunkRange) ([]byte
 // container. Assembly is pure byte layout — no recompression — so the
 // container is byte-identical no matter which workers produced the chunks
 // or in what order they completed, as long as the caller indexes them by
-// ChunkRange.Index. Every chunk must be a valid sz stream, and all chunks
-// must agree on the trailing dimensions (they differ only in row count).
+// ChunkRange.Index. Every chunk must be a stream of a registered codec
+// (chunks of one container may even mix codecs — decode dispatches
+// per-chunk on magic), and all chunks must agree on the trailing
+// dimensions (they differ only in row count).
 func AssembleChunks(chunks [][]byte) ([]byte, error) {
 	if len(chunks) == 0 {
 		return nil, fmt.Errorf("sz: no chunks to assemble")
@@ -144,17 +148,22 @@ func AssembleChunks(chunks [][]byte) ([]byte, error) {
 	var tail []int
 	total := 9 + 8*len(chunks)
 	for i, c := range chunks {
-		h, _, err := parseHeader(c)
+		// Chunks must be codec streams, never containers: nesting would
+		// let a crafted container recurse the decoder without bound.
+		if IsChunked(c) {
+			return nil, fmt.Errorf("sz: chunk %d: nested container: %w", i, ErrCorrupt)
+		}
+		dims, err := codec.StreamDims(c)
 		if err != nil {
 			return nil, fmt.Errorf("sz: chunk %d: %w", i, err)
 		}
 		if i == 0 {
-			tail = h.dims[1:]
+			tail = dims[1:]
 		} else {
-			if len(h.dims)-1 != len(tail) {
+			if len(dims)-1 != len(tail) {
 				return nil, fmt.Errorf("sz: chunk %d dimensionality mismatch: %w", i, ErrCorrupt)
 			}
-			for j, d := range h.dims[1:] {
+			for j, d := range dims[1:] {
 				if d != tail[j] {
 					return nil, fmt.Errorf("sz: chunk %d trailing dims mismatch: %w", i, ErrCorrupt)
 				}
@@ -226,10 +235,12 @@ func SplitChunked(stream []byte) ([][]byte, error) {
 }
 
 // DecompressChunked decodes a chunked container: each chunk stream is
-// decompressed independently and the reconstructions are concatenated in
-// plan order, yielding the full field and its shape (the chunks' rows
-// summed along dims[0]). Per-chunk error bounds carry through unchanged —
-// every value honours the absolute bound its chunk was compressed under.
+// decompressed independently — dispatching on its own codec magic, so a
+// container may hold chunks from any registered codec — and the
+// reconstructions are concatenated in plan order, yielding the full field
+// and its shape (the chunks' rows summed along dims[0]). Per-chunk error
+// bounds carry through unchanged — every value honours the absolute bound
+// its chunk was compressed under.
 func DecompressChunked(stream []byte) ([]float64, []int, error) {
 	chunks, err := SplitChunked(stream)
 	if err != nil {
@@ -238,22 +249,40 @@ func DecompressChunked(stream []byte) ([]float64, []int, error) {
 	// Size the output once from the chunk headers: this runs in the verify
 	// hot path of every chunked campaign, and append-growth would copy the
 	// field O(log chunks) times.
+	// The headers are attacker-controlled until each chunk actually
+	// decodes, so cap the preallocation as it accumulates: a crafted
+	// container claiming 2^40 points per chunk must neither reserve
+	// terabytes up front nor wrap the sum negative. Legitimate fields
+	// beyond the cap merely pay append-growth copies.
+	const capLimit = 1 << 24
 	total := 0
 	for i, c := range chunks {
-		h, _, err := parseHeader(c)
+		// Reject containers-as-chunks before any dispatch: a crafted
+		// container nesting containers would otherwise recurse
+		// codec.Decompress → DecompressChunked without bound and overflow
+		// the stack instead of erroring.
+		if IsChunked(c) {
+			return nil, nil, fmt.Errorf("sz: chunk %d: nested container: %w", i, ErrCorrupt)
+		}
+		sub, err := codec.StreamDims(c)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sz: chunk %d: %w", i, err)
 		}
 		n := 1
-		for _, d := range h.dims {
-			n *= d
+		for _, d := range sub {
+			n *= d // headers guarantee each product ≤ 2^40, positive
 		}
-		total += n
+		if total < capLimit {
+			total += n
+		}
+	}
+	if total > capLimit {
+		total = capLimit
 	}
 	data := make([]float64, 0, total)
 	var dims []int
 	for i, c := range chunks {
-		recon, sub, err := Decompress(c)
+		recon, sub, err := codec.Decompress(c)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sz: chunk %d: %w", i, err)
 		}
@@ -273,6 +302,40 @@ func DecompressChunked(stream []byte) ([]float64, []int, error) {
 		data = append(data, recon...)
 	}
 	return data, dims, nil
+}
+
+// ChunkedDims parses only a container's framing and per-chunk headers and
+// returns the assembled field shape (rows summed along dims[0]) — the
+// cheap geometry probe the codec registry exposes for containers.
+func ChunkedDims(stream []byte) ([]int, error) {
+	chunks, err := SplitChunked(stream)
+	if err != nil {
+		return nil, err
+	}
+	var dims []int
+	for i, c := range chunks {
+		if IsChunked(c) {
+			return nil, fmt.Errorf("sz: chunk %d: nested container: %w", i, ErrCorrupt)
+		}
+		sub, err := codec.StreamDims(c)
+		if err != nil {
+			return nil, fmt.Errorf("sz: chunk %d: %w", i, err)
+		}
+		if i == 0 {
+			dims = append([]int(nil), sub...)
+			continue
+		}
+		if len(sub) != len(dims) {
+			return nil, fmt.Errorf("sz: chunk %d dimensionality mismatch: %w", i, ErrCorrupt)
+		}
+		for j := 1; j < len(sub); j++ {
+			if sub[j] != dims[j] {
+				return nil, fmt.Errorf("sz: chunk %d trailing dims mismatch: %w", i, ErrCorrupt)
+			}
+		}
+		dims[0] += sub[0]
+	}
+	return dims, nil
 }
 
 // CompressChunked is the serial convenience path: plan chunks of roughly

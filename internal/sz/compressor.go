@@ -32,10 +32,10 @@ type Stats struct {
 	HuffmanBits int
 }
 
-// codec drives one predictor traversal. The same traversal code runs during
+// traversal drives one predictor pass. The same traversal code runs during
 // compression (data != nil: quantize and record codes/literals) and during
 // decompression (data == nil: consume codes/literals to rebuild recon).
-type codec struct {
+type traversal struct {
 	q        *quant.Quantizer
 	data     []float64 // original values; nil in decode mode
 	recon    []float64
@@ -48,7 +48,7 @@ type codec struct {
 }
 
 // process handles one point: index i with prediction pred.
-func (c *codec) process(i int, pred float64) {
+func (c *traversal) process(i int, pred float64) {
 	if c.data != nil {
 		code, rec, ok := c.q.Quantize(c.data[i], pred)
 		if !ok {
@@ -73,7 +73,7 @@ func (c *codec) process(i int, pred float64) {
 
 // pushCoeffs records regression coefficients during compression (rounded to
 // float32 so encode and decode predict identically).
-func (c *codec) pushCoeffs(coefs []float64) []float64 {
+func (c *traversal) pushCoeffs(coefs []float64) []float64 {
 	out := make([]float64, len(coefs))
 	for i, v := range coefs {
 		out[i] = float64(float32(v))
@@ -83,7 +83,7 @@ func (c *codec) pushCoeffs(coefs []float64) []float64 {
 }
 
 // nextCoeffs consumes coefficients during decompression.
-func (c *codec) nextCoeffs(n int) ([]float64, error) {
+func (c *traversal) nextCoeffs(n int) ([]float64, error) {
 	if c.coefIdx+n > len(c.coeffs) {
 		return nil, ErrCorrupt
 	}
@@ -107,7 +107,7 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 	}
 	absEB := cfg.AbsoluteBound(data)
 	q := quant.New(absEB, cfg.Radius)
-	c := &codec{
+	c := &traversal{
 		q:     q,
 		data:  data,
 		recon: make([]float64, len(data)),
@@ -179,7 +179,19 @@ func Decompress(stream []byte) ([]float64, []int, error) {
 	if len(codes) != n {
 		return nil, nil, fmt.Errorf("sz: code count %d != points %d: %w", len(codes), n, ErrCorrupt)
 	}
-	c := &codec{
+	// The traversal consumes one literal per escape code; a crafted stream
+	// whose escape count exceeds its literal count would index past the
+	// literals slice mid-traversal, so validate the invariant up front.
+	escapes := 0
+	for _, c := range codes {
+		if c == quant.EscapeCode {
+			escapes++
+		}
+	}
+	if escapes != len(inner.literals) {
+		return nil, nil, fmt.Errorf("sz: %d escape codes for %d literals: %w", escapes, len(inner.literals), ErrCorrupt)
+	}
+	c := &traversal{
 		q:        quant.New(h.absEB, h.radius),
 		recon:    make([]float64, n),
 		codes:    codes,
@@ -206,7 +218,7 @@ func Decompress(stream []byte) ([]float64, []int, error) {
 }
 
 // runPredictor dispatches the traversal for the configured predictor.
-func runPredictor(c *codec, dims []int, cfg Config) error {
+func runPredictor(c *traversal, dims []int, cfg Config) error {
 	switch cfg.Predictor {
 	case PredictorLorenzo:
 		lorenzoTraverse(c, dims)

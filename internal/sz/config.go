@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"ocelot/internal/codec"
 	"ocelot/internal/lossless"
 )
 
@@ -45,7 +46,15 @@ func (p Predictor) String() string {
 	}
 }
 
-// ParsePredictor converts a string name into a Predictor.
+// PredictorNames lists the canonical predictor names ParsePredictor
+// accepts, in the order error messages cite them.
+func PredictorNames() []string {
+	return []string{"lorenzo", "interp", "regression"}
+}
+
+// ParsePredictor converts a string name into a Predictor. Unknown names
+// error with the valid list, using the same consolidated format as the
+// codec registry's name lookup (codec.UnknownName).
 func ParsePredictor(s string) (Predictor, error) {
 	switch s {
 	case "lorenzo":
@@ -55,7 +64,7 @@ func ParsePredictor(s string) (Predictor, error) {
 	case "regression", "reg":
 		return PredictorRegression, nil
 	default:
-		return 0, fmt.Errorf("sz: unknown predictor %q", s)
+		return 0, fmt.Errorf("sz: %w", codec.UnknownName("predictor", s, PredictorNames()))
 	}
 }
 

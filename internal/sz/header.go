@@ -72,17 +72,20 @@ func parseHeader(stream []byte) (*header, []byte, error) {
 		return nil, nil, ErrCorrupt
 	}
 	h.dims = make([]int, nd)
-	total := 1
+	total := uint64(1)
 	for i := 0; i < nd; i++ {
 		d := binary.LittleEndian.Uint64(stream[21+8*i : 29+8*i])
 		if d == 0 || d > 1<<32 {
 			return nil, nil, ErrCorrupt
 		}
-		h.dims[i] = int(d)
-		total *= int(d)
-		if total > 1<<40 {
+		// Check before multiplying: the product must stay ≤ 2^40 without
+		// ever wrapping, or crafted dims reach downstream consumers (e.g.
+		// the chunked container's size pass) as a negative point count.
+		if total > (1<<40)/d {
 			return nil, nil, ErrCorrupt
 		}
+		total *= d
+		h.dims[i] = int(d)
 	}
 	if h.absEB <= 0 || math.IsNaN(h.absEB) || math.IsInf(h.absEB, 0) {
 		return nil, nil, ErrCorrupt
@@ -163,8 +166,10 @@ func parseInnerPayload(body []byte) (*innerPayload, error) {
 		p.coeffs[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[off : off+4])))
 		off += 4
 	}
+	// Compare against the remaining bytes without converting to int: a
+	// crafted 64-bit length must not wrap negative past the bounds check.
 	nHuff, ok := readU64()
-	if !ok || off+int(nHuff) > len(body) {
+	if !ok || nHuff > uint64(len(body)-off) {
 		return nil, ErrCorrupt
 	}
 	p.huffman = body[off : off+int(nHuff)]

@@ -10,7 +10,7 @@ package sz
 // 2-adic valuation across coordinates is v is processed at level h = 2^v on
 // the last axis whose coordinate has valuation v. The same deterministic
 // order runs during compression and decompression.
-func interpTraverse(c *codec, dims []int, mode InterpMode) {
+func interpTraverse(c *traversal, dims []int, mode InterpMode) {
 	nd := len(dims)
 	strides := rowMajorStrides(dims)
 	maxDim := 0
@@ -40,7 +40,7 @@ func interpTraverse(c *codec, dims []int, mode InterpMode) {
 
 // interpAxis predicts all points p with p[d] ≡ h (mod stride), p[a<d] ≡ 0
 // (mod h), p[a>d] ≡ 0 (mod stride).
-func interpAxis(c *codec, dims, strides []int, d, stride, h int, mode InterpMode) {
+func interpAxis(c *traversal, dims, strides []int, d, stride, h int, mode InterpMode) {
 	nd := len(dims)
 	// Step sizes per axis for the odometer.
 	steps := make([]int, nd)

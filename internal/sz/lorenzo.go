@@ -5,7 +5,7 @@ package sz
 // sum over the 2^d − 1 already-reconstructed neighbors in the negative
 // orthant. Out-of-range neighbors contribute zero, which makes the first
 // point's prediction 0.
-func lorenzoTraverse(c *codec, dims []int) {
+func lorenzoTraverse(c *traversal, dims []int) {
 	switch len(dims) {
 	case 1:
 		lorenzo1D(c, dims[0])
@@ -18,7 +18,7 @@ func lorenzoTraverse(c *codec, dims []int) {
 	}
 }
 
-func lorenzo1D(c *codec, n int) {
+func lorenzo1D(c *traversal, n int) {
 	for i := 0; i < n; i++ {
 		var pred float64
 		if i > 0 {
@@ -28,7 +28,7 @@ func lorenzo1D(c *codec, n int) {
 	}
 }
 
-func lorenzo2D(c *codec, ny, nx int) {
+func lorenzo2D(c *traversal, ny, nx int) {
 	r := c.recon
 	for j := 0; j < ny; j++ {
 		for i := 0; i < nx; i++ {
@@ -48,7 +48,7 @@ func lorenzo2D(c *codec, ny, nx int) {
 	}
 }
 
-func lorenzo3D(c *codec, nz, ny, nx int) {
+func lorenzo3D(c *traversal, nz, ny, nx int) {
 	r := c.recon
 	sy := nx
 	sz := nx * ny
@@ -86,7 +86,7 @@ func lorenzo3D(c *codec, nz, ny, nx int) {
 }
 
 // lorenzoND is the generic inclusion–exclusion fallback for 4-D data.
-func lorenzoND(c *codec, dims []int) {
+func lorenzoND(c *traversal, dims []int) {
 	nd := len(dims)
 	strides := rowMajorStrides(dims)
 	coords := make([]int, nd)

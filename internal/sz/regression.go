@@ -5,7 +5,7 @@ package sz
 // f(x) = β0 + Σ βa·xa is least-squares fitted to each block's original
 // values, the coefficients are stored (rounded to float32 so both codec
 // directions predict identically), and the residuals are quantized.
-func regressionTraverse(c *codec, dims []int, blockSide int) error {
+func regressionTraverse(c *traversal, dims []int, blockSide int) error {
 	nd := len(dims)
 	strides := rowMajorStrides(dims)
 	nBlocks := make([]int, nd)
@@ -41,7 +41,7 @@ func regressionTraverse(c *codec, dims []int, blockSide int) error {
 	return nil
 }
 
-func processBlock(c *codec, strides, lo, hi []int) error {
+func processBlock(c *traversal, strides, lo, hi []int) error {
 	nd := len(lo)
 	var coefs []float64
 	if c.data != nil {

@@ -3,8 +3,10 @@
 //
 // It provides:
 //
-//   - an SZ3-style prediction-based error-bounded lossy compressor
-//     (Lorenzo / multilevel interpolation / block regression pipelines);
+//   - a pluggable codec registry with two error-bounded lossy
+//     compressors: an SZ3-style prediction pipeline (Lorenzo / multilevel
+//     interpolation / block regression) and an SZx-style ultra-fast block
+//     codec; streams decode transparently by magic;
 //   - the paper's compression-quality predictor: feature extraction plus
 //     decision-tree models for compression ratio, speed and PSNR;
 //   - a parallel compression executor, file-grouping optimizer, and
@@ -22,6 +24,7 @@ import (
 	"context"
 
 	"ocelot/internal/cluster"
+	"ocelot/internal/codec"
 	"ocelot/internal/core"
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
@@ -63,10 +66,40 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *CompressionStats
 	return sz.Compress(data, dims, cfg)
 }
 
-// Decompress decodes a stream produced by Compress or CompressChunked
-// (chunked containers are detected by magic and reassembled transparently).
+// Decompress decodes a stream produced by any registered codec (sz3, szx,
+// …) or by CompressChunked — the codec registry dispatches on each
+// stream's 4-byte magic, and chunked containers are reassembled
+// transparently.
 func Decompress(stream []byte) (data []float64, dims []int, err error) {
-	return sz.Decompress(stream)
+	return codec.Decompress(stream)
+}
+
+// --- Codec registry ---
+
+// Codec is one registered error-bounded lossy compressor (see
+// internal/codec): sz3 is the high-ratio prediction pipeline, szx the
+// SZx-style ultra-fast block codec.
+type Codec = codec.Codec
+
+// CodecParams is the codec-neutral compression request (absolute bound
+// plus an optional predictor hint).
+type CodecParams = codec.Params
+
+// Codecs lists the registered codec names in sorted order.
+func Codecs() []string { return codec.Names() }
+
+// LookupCodec resolves a codec by registry name ("" selects sz3); unknown
+// names error with the valid list.
+func LookupCodec(name string) (Codec, error) { return codec.Lookup(name) }
+
+// CompressWith encodes a field with the named codec under an absolute
+// error bound. Decompress reads the result back regardless of codec.
+func CompressWith(codecName string, data []float64, dims []int, absErrorBound float64) ([]byte, error) {
+	c, err := codec.Lookup(codecName)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(data, dims, codec.Params{AbsErrorBound: absErrorBound})
 }
 
 // --- Chunk-parallel compression ---
@@ -284,6 +317,22 @@ type CampaignPlan = planner.Plan
 // truth — the train-on-the-fly path of the planner.
 func TrainPlannerModel(train []*Field) (*QualityModel, error) {
 	return planner.TrainFromSweep(train, nil, dtree.Params{MaxDepth: 14})
+}
+
+// TrainPlannerModelCandidates is TrainPlannerModel over an explicit
+// candidate grid: every codec in the grid gets its own tree set, so a
+// grid from PlannerCodecCandidates yields a model the planner can pick
+// codecs with.
+func TrainPlannerModelCandidates(train []*Field, candidates []PlannerCandidate) (*QualityModel, error) {
+	return planner.TrainFromSweep(train, candidates, dtree.Params{MaxDepth: 14})
+}
+
+// PlannerCodecCandidates builds the rel-EB × predictor × codec candidate
+// grid over the named registered codecs (e.g. {"sz3", "szx"}), turning
+// the planner into a codec-picker: speed-optimized codecs win on fast
+// links, high-ratio codecs on slow ones.
+func PlannerCodecCandidates(codecNames []string) ([]PlannerCandidate, error) {
+	return planner.CodecCandidates(codecNames)
 }
 
 // PlanCampaign runs only the plan stage and returns the decision table

@@ -270,3 +270,54 @@ func TestFacadeChunkedCampaign(t *testing.T) {
 		t.Fatalf("chunked wall %g did not divide the wide field", w)
 	}
 }
+
+// TestFacadeCodecs smoke-tests the codec registry surface: named
+// compression, transparent magic dispatch on decode, and the codec-aware
+// planner grid.
+func TestFacadeCodecs(t *testing.T) {
+	names := Codecs()
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["sz3"] || !has["szx"] {
+		t.Fatalf("Codecs() = %v, want sz3 and szx registered", names)
+	}
+	f, err := GenerateField("CESM", "TMQ", 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sz3", "szx"} {
+		stream, err := CompressWith(name, f.Data, f.Dims, 1e-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, dims, err := Decompress(stream)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dims) != len(f.Dims) {
+			t.Fatalf("%s: dims %v", name, dims)
+		}
+		m, err := MaxAbsError(f.Data, recon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > 1e-2 {
+			t.Errorf("%s: max error %g", name, m)
+		}
+	}
+	if _, err := CompressWith("bogus", f.Data, f.Dims, 1e-2); err == nil {
+		t.Error("want error for unknown codec")
+	}
+	if _, err := LookupCodec("szx"); err != nil {
+		t.Error(err)
+	}
+	cands, err := PlannerCodecCandidates([]string{"sz3", "szx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 21 {
+		t.Errorf("codec grid has %d candidates, want 21 (14 sz3 + 7 szx)", len(cands))
+	}
+}

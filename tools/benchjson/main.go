@@ -1,0 +1,88 @@
+// Command benchjson regenerates the CodecShootout artifact and writes its
+// scalar outcomes as machine-readable JSON (BENCH_codecs.json), so the
+// performance trajectory of the codec subsystem — compression wall,
+// ratio, PSNR, and modelled end-to-end seconds per codec per link — is
+// tracked as a file diff rather than read off scrolling logs.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json]
+//
+// The Makefile's bench-json target is the canonical invocation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ocelot/internal/experiments"
+)
+
+// report is the emitted JSON document. Values carries every scalar the
+// artifact records, keyed exactly as in the Result, so new artifact
+// metrics appear in the file without a schema change here.
+type report struct {
+	Artifact  string             `json:"artifact"`
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"goVersion"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	Shrink    int                `json:"shrink"`
+	Seed      int64              `json:"seed"`
+	ElapsedMS float64            `json:"elapsedMs"`
+	Values    map[string]float64 `json:"values"`
+	Keys      []string           `json:"keys"` // sorted, for stable diffs
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	shrink := fs.Int("shrink", 24, "dataset shrink factor for the shootout")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	out := fs.String("out", "BENCH_codecs.json", "output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := experiments.CodecShootout(experiments.Scale{Shrink: *shrink, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Artifact:  res.ID,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Shrink:    *shrink,
+		Seed:      *seed,
+		ElapsedMS: float64(time.Since(start).Milliseconds()),
+		Values:    res.Values,
+	}
+	for k := range res.Values {
+		rep.Keys = append(rep.Keys, k)
+	}
+	sort.Strings(rep.Keys)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d metrics (szx speedup %.1fx, szx share fast/slow %.2f/%.2f)\n",
+		*out, len(rep.Keys), res.Values["speedup_szx"],
+		res.Values["szx_share_fast"], res.Values["szx_share_slow"])
+	return nil
+}
