@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json fuzz-smoke lint cover tier1 plan-smoke doc-check
+.PHONY: build test race bench bench-json bench-hotpath fuzz-smoke lint cover tier1 plan-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,20 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Machine-readable codec benchmark: regenerates the CodecShootout artifact
-# and writes wall/ratio/PSNR per codec/link to BENCH_codecs.json, so the
-# codec subsystem's perf trajectory is tracked as a diffable file.
+# Machine-readable benchmarks: regenerates the CodecShootout artifact
+# (wall/ratio/PSNR per codec/link → BENCH_codecs.json) and the HotPath
+# artifact (entropy hot-path MB/s vs the pinned pre-overhaul reference →
+# BENCH_hotpath.json), so both perf trajectories are tracked as diffable
+# files.
 bench-json:
-	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json
+	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json \
+		-hotpath-out BENCH_hotpath.json
+
+# Entropy hot-path throughput benchmarks in smoke mode: compile and run
+# each once so the tracked figures cannot rot between bench-json refreshes.
+bench-hotpath:
+	$(GO) test -run='^$$' -bench='BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkSZ3Throughput' \
+		-benchtime=1x .
 
 # Short fuzz pass over the stream parsers: crafted streams (including
 # unknown codec magic) must error, never panic. Each target fuzzes briefly

@@ -14,12 +14,14 @@ package ocelot
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"ocelot/internal/datagen"
 	"ocelot/internal/experiments"
 	"ocelot/internal/features"
 	"ocelot/internal/grouping"
+	"ocelot/internal/huffman"
 	"ocelot/internal/lossless"
 	"ocelot/internal/sz"
 )
@@ -317,3 +319,126 @@ func BenchmarkCompressThroughput(b *testing.B) {
 		})
 	}
 }
+
+// --- Entropy hot path (BENCH_hotpath.json tracks these as file diffs) ---
+
+// huffmanBenchStream builds an SZ-realistic quantization-code stream: a
+// zero-bin-dominated normal spread over the default 64K alphabet.
+func huffmanBenchStream(b *testing.B) (*huffman.SymbolStream, []uint64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	var s huffman.SymbolStream
+	freqs := make([]uint64, 1<<16)
+	for i := 0; i < 1<<18; i++ {
+		sym := 1<<15 + int(rng.NormFloat64()*40)
+		s.Append(sym)
+		freqs[sym]++
+	}
+	return &s, freqs
+}
+
+// BenchmarkHuffmanEncode measures the production encode path (EncodeToSized
+// into a reused buffer, payload bits precomputed from the frequency table).
+func BenchmarkHuffmanEncode(b *testing.B) {
+	s, freqs := huffmanBenchStream(b)
+	table, err := huffman.BuildTable(freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits, err := table.EncodedBitsStream(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(s.Len()) * 2) // compact representation: 2 bytes/symbol
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		out, err := huffman.EncodeToSized(buf[:0], s, table, bits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+// BenchmarkHuffmanDecode measures the two-level table-driven decode
+// (DecodeInto with a reused SymbolStream) against the same stream.
+func BenchmarkHuffmanDecode(b *testing.B) {
+	s, freqs := huffmanBenchStream(b)
+	table, err := huffman.BuildTable(freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bits, err := table.EncodedBitsStream(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := huffman.EncodeToSized(nil, s, table, bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(s.Len()) * 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var dec huffman.SymbolStream
+	for i := 0; i < b.N; i++ {
+		if err := huffman.DecodeInto(&dec, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSZ3Throughput measures single-stream sz3 compress/decompress
+// MB/s on the overhauled hot path and on the pinned pre-overhaul
+// reference, on the same field — the four figures BENCH_hotpath.json
+// freezes per PR (acceptance: decompress ≥2x, compress ≥1.3x reference).
+func BenchmarkSZ3Throughput(b *testing.B) {
+	f := benchField(b)
+	cfg := sz.DefaultConfig(1e-3)
+	stream, _, err := sz.Compress(f.Data, f.Dims, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := int64(f.NumPoints() * 8)
+	b.Run("compress", func(b *testing.B) {
+		b.SetBytes(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.Compress(f.Data, f.Dims, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decompress", func(b *testing.B) {
+		b.SetBytes(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.Decompress(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compress-reference", func(b *testing.B) {
+		b.SetBytes(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.CompressReference(f.Data, f.Dims, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decompress-reference", func(b *testing.B) {
+		b.SetBytes(raw)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sz.DecompressReference(stream); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHotPathArtifact regenerates the HotPath artifact (the source of
+// BENCH_hotpath.json) once per iteration.
+func BenchmarkHotPathArtifact(b *testing.B) { runExperiment(b, experiments.HotPath) }

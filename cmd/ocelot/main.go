@@ -525,9 +525,9 @@ func cmdCampaign(args []string) error {
 	} else {
 		fmt.Printf("max relative error %.2e (bound %.0e) ✓\n", res.MaxRelError, *eb)
 	}
-	fmt.Printf("\nper-stage ledger:\n%-12s %8s %7s %12s %12s\n", "stage", "workers", "items", "busy (s)", "span (s)")
+	fmt.Printf("\nper-stage ledger:\n%-12s %8s %7s %12s %12s %10s\n", "stage", "workers", "items", "busy (s)", "span (s)", "MB/s")
 	for _, s := range res.Stages {
-		fmt.Printf("%-12s %8d %7d %12.3f %12.3f\n", s.Name, s.Workers, s.Items, s.BusySec, s.WallSec)
+		fmt.Printf("%-12s %8d %7d %12.3f %12.3f %10.1f\n", s.Name, s.Workers, s.Items, s.BusySec, s.WallSec, s.MBps)
 	}
 	fmt.Printf("\noverlap: %.3fs of stage time ran concurrently\n", res.OverlapSec)
 	return nil

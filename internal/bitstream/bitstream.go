@@ -2,9 +2,16 @@
 // entropy-coding stages of the compressors. Bits are packed MSB-first into
 // bytes so that encoded streams are byte-order independent and the output of
 // the canonical Huffman coder is deterministic across platforms.
+//
+// The Reader is built around a 64-bit accumulator refilled eight bytes at a
+// time, so decoders can Peek a window of upcoming bits, resolve a symbol
+// with a table lookup, and Skip its exact length — the word-at-a-time
+// pattern the table-driven Huffman decoder depends on — instead of paying a
+// branch per bit.
 package bitstream
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -28,6 +35,14 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
+// NewWriterBuf returns a Writer that appends to buf (contents preserved,
+// capacity reused). Callers that know the exact encoded size — e.g. the
+// Huffman encoder, which sizes output from Table.EncodedBits — can hand in
+// a preallocated buffer and avoid every regrow.
+func NewWriterBuf(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
 // WriteBits appends the low `width` bits of v to the stream, MSB first.
 // width must be in [0, 64].
 func (w *Writer) WriteBits(v uint64, width uint) {
@@ -37,21 +52,23 @@ func (w *Writer) WriteBits(v uint64, width uint) {
 	if width < 64 {
 		v &= (1 << width) - 1
 	}
-	// Split so cur never exceeds 64 bits.
-	for width > 0 {
-		free := 64 - w.nbit
-		take := width
-		if take > free {
-			take = free
-		}
-		chunk := v >> (width - take)
-		w.cur = (w.cur << take) | (chunk & ((1 << take) - 1))
-		w.nbit += take
-		width -= take
+	// Fast path: the whole value fits into the pending word.
+	if free := 64 - w.nbit; width <= free {
+		w.cur = w.cur<<width | v
+		w.nbit += width
 		if w.nbit == 64 {
 			w.flushWord()
 		}
+		return
 	}
+	// Split across the word boundary: top part fills cur, rest seeds it.
+	take := 64 - w.nbit
+	w.cur = w.cur<<take | v>>(width-take)
+	w.nbit = 64
+	w.flushWord()
+	rem := width - take
+	w.cur = v & (1<<rem - 1)
+	w.nbit = rem
 }
 
 // WriteBit appends a single bit (0 or 1).
@@ -60,9 +77,9 @@ func (w *Writer) WriteBit(b uint) {
 }
 
 func (w *Writer) flushWord() {
-	for i := 0; i < 8; i++ {
-		w.buf = append(w.buf, byte(w.cur>>(56-8*uint(i))))
-	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], w.cur)
+	w.buf = append(w.buf, b[:]...)
 	w.cur = 0
 	w.nbit = 0
 }
@@ -99,15 +116,90 @@ func (w *Writer) Reset() {
 }
 
 // Reader consumes bits MSB-first from a byte slice.
+//
+// Internally it maintains a left-aligned 64-bit accumulator: the next
+// unread bit is always the accumulator's MSB, and only the top nacc bits
+// are meaningful (the rest are zero). refill loads eight source bytes per
+// iteration whenever at least eight bits of accumulator space are free.
 type Reader struct {
-	buf []byte
-	pos int  // byte position
-	bit uint // bit position within buf[pos] (0 = MSB)
+	buf  []byte
+	pos  int    // next source byte to load into acc
+	acc  uint64 // unread bits, left-aligned; bits below nacc are zero
+	nacc uint   // number of valid bits in acc (0..64)
 }
 
 // NewReader returns a Reader over buf. The Reader does not copy buf.
 func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
+}
+
+// Reset re-points the Reader at buf, reusing the struct.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos = 0
+	r.acc = 0
+	r.nacc = 0
+}
+
+// refill tops the accumulator up from the source buffer: a single 64-bit
+// load when eight bytes remain, byte-at-a-time near the end of the stream.
+func (r *Reader) refill() {
+	if r.nacc <= 0 && r.pos+8 <= len(r.buf) {
+		// Empty accumulator and a full word available: one load.
+		r.acc = binary.BigEndian.Uint64(r.buf[r.pos:])
+		r.nacc = 64
+		r.pos += 8
+		return
+	}
+	for r.nacc <= 56 && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << (56 - r.nacc)
+		r.nacc += 8
+		r.pos++
+	}
+}
+
+// Peek returns the next width bits (MSB-first, right-aligned) without
+// consuming them. Past the end of the stream the missing low bits are
+// zero-padded — callers detect truncation via Skip/ReadBits, which do fail.
+// width must be in [0, 56] to guarantee a full window after one refill.
+func (r *Reader) Peek(width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if r.nacc < width {
+		r.refill()
+	}
+	return r.acc >> (64 - width)
+}
+
+// Skip consumes width bits, which must have been peeked or otherwise known
+// to exist: skipping past the end of the stream returns ErrUnexpectedEOF
+// (with the reader drained).
+func (r *Reader) Skip(width uint) error {
+	if width <= r.nacc {
+		r.acc <<= width
+		r.nacc -= width
+		return nil
+	}
+	for width > r.nacc {
+		if r.pos >= len(r.buf) {
+			r.acc = 0
+			r.nacc = 0
+			return ErrUnexpectedEOF
+		}
+		r.refill()
+		if width <= r.nacc {
+			break
+		}
+		// Accumulator full (or source drained) and still short: consume it
+		// wholesale and keep going.
+		width -= r.nacc
+		r.acc = 0
+		r.nacc = 0
+	}
+	r.acc <<= width
+	r.nacc -= width
+	return nil
 }
 
 // ReadBits reads `width` bits (MSB-first) and returns them right-aligned.
@@ -116,44 +208,58 @@ func (r *Reader) ReadBits(width uint) (uint64, error) {
 	if width > 64 {
 		return 0, fmt.Errorf("bitstream: width %d out of range", width)
 	}
+	if width <= r.nacc {
+		// Fast path: entirely inside the accumulator.
+		v := r.acc >> (64 - width)
+		r.acc <<= width
+		r.nacc -= width
+		return v, nil
+	}
 	var v uint64
 	for width > 0 {
-		if r.pos >= len(r.buf) {
-			return 0, ErrUnexpectedEOF
+		if r.nacc == 0 {
+			r.refill()
+			if r.nacc == 0 {
+				return 0, ErrUnexpectedEOF
+			}
 		}
-		avail := 8 - r.bit
 		take := width
-		if take > avail {
-			take = avail
+		if take > r.nacc {
+			take = r.nacc
 		}
-		cur := uint64(r.buf[r.pos])
-		chunk := (cur >> (avail - take)) & ((1 << take) - 1)
-		v = (v << take) | chunk
-		r.bit += take
+		v = v<<take | r.acc>>(64-take)
+		r.acc <<= take
+		r.nacc -= take
 		width -= take
-		if r.bit == 8 {
-			r.bit = 0
-			r.pos++
-		}
 	}
 	return v, nil
 }
 
 // ReadBit reads a single bit.
 func (r *Reader) ReadBit() (uint, error) {
-	v, err := r.ReadBits(1)
-	return uint(v), err
+	if r.nacc == 0 {
+		r.refill()
+		if r.nacc == 0 {
+			return 0, ErrUnexpectedEOF
+		}
+	}
+	b := uint(r.acc >> 63)
+	r.acc <<= 1
+	r.nacc--
+	return b, nil
 }
 
 // Remaining reports the number of unread bits.
 func (r *Reader) Remaining() int {
-	return (len(r.buf)-r.pos)*8 - int(r.bit)
+	return (len(r.buf)-r.pos)*8 + int(r.nacc)
 }
 
-// Align advances the reader to the next byte boundary.
+// Align advances the reader to the next byte boundary of the original
+// stream (consumed-bit count becomes a multiple of 8).
 func (r *Reader) Align() {
-	if r.bit != 0 {
-		r.bit = 0
-		r.pos++
+	// Consumed bits = pos*8 - nacc, so the misalignment is nacc mod 8.
+	if k := r.nacc % 8; k > 0 {
+		r.acc <<= k
+		r.nacc -= k
 	}
 }

@@ -185,3 +185,143 @@ func BenchmarkReadBits(b *testing.B) {
 		}
 	}
 }
+
+// TestPeekSkipMatchesReadBits drives the same random stream through the
+// peek-then-skip word-at-a-time API and through plain ReadBits; both must
+// observe identical bit sequences.
+func TestPeekSkipMatchesReadBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w := NewWriter(1 << 12)
+	var widths []uint
+	var values []uint64
+	for i := 0; i < 500; i++ {
+		wd := uint(rng.Intn(56) + 1)
+		v := rng.Uint64() & ((1 << wd) - 1)
+		widths = append(widths, wd)
+		values = append(values, v)
+		w.WriteBits(v, wd)
+	}
+	data := w.Bytes()
+	r := NewReader(data)
+	for i, wd := range widths {
+		got := r.Peek(wd)
+		if got != values[i] {
+			t.Fatalf("peek %d: got %#x want %#x", i, got, values[i])
+		}
+		// A second peek must be idempotent.
+		if again := r.Peek(wd); again != got {
+			t.Fatalf("peek %d not idempotent: %#x then %#x", i, got, again)
+		}
+		if err := r.Skip(wd); err != nil {
+			t.Fatalf("skip %d: %v", i, err)
+		}
+	}
+}
+
+// TestPeekPastEndZeroPads: peeking beyond the stream must zero-pad, and the
+// matching Skip must fail with ErrUnexpectedEOF.
+func TestPeekPastEndZeroPads(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if got := r.Peek(12); got != 0xFF0 {
+		t.Fatalf("peek(12) over 1 byte = %#x, want 0xFF0", got)
+	}
+	if err := r.Skip(12); err != ErrUnexpectedEOF {
+		t.Fatalf("skip past end: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestSkipWideAcrossWords skips widths larger than the accumulator.
+func TestSkipWideAcrossWords(t *testing.T) {
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	r := NewReader(data)
+	if err := r.Skip(200); err != nil {
+		t.Fatal(err)
+	}
+	want := NewReader(data)
+	if _, err := want.ReadBits(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.ReadBits(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.ReadBits(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := want.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.ReadBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := want.ReadBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != w {
+		t.Fatalf("after Skip(200): got %#x want %#x", g, w)
+	}
+	if r.Remaining() != want.Remaining() {
+		t.Fatalf("remaining %d vs %d", r.Remaining(), want.Remaining())
+	}
+}
+
+// TestReaderReset reuses one Reader across buffers.
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset([]byte{0xCD, 0xEF})
+	v, err := r.ReadBits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xCDEF {
+		t.Fatalf("after Reset: %#x", v)
+	}
+}
+
+// TestAlignAfterPeek: Align must account for accumulator-held bits.
+func TestAlignAfterPeek(t *testing.T) {
+	data := []byte{0b10110100, 0b01011111, 0xA5}
+	r := NewReader(data)
+	_ = r.Peek(3) // pulls a word into the accumulator
+	if _, err := r.ReadBits(3); err != nil {
+		t.Fatal(err)
+	}
+	r.Align()
+	v, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b01011111 {
+		t.Fatalf("after align: %#x want %#x", v, 0b01011111)
+	}
+	if r.Remaining() != 8 {
+		t.Fatalf("remaining = %d want 8", r.Remaining())
+	}
+}
+
+func BenchmarkPeekSkip(b *testing.B) {
+	w := NewWriter(1 << 20)
+	for i := 0; i < 1<<17; i++ {
+		w.WriteBits(uint64(i), 17)
+	}
+	data := w.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	r := NewReader(data)
+	for i := 0; i < b.N; i++ {
+		r.Reset(data)
+		for r.Remaining() >= 17 {
+			_ = r.Peek(12)
+			if err := r.Skip(17); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

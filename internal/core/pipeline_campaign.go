@@ -476,8 +476,17 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	}
 
 	stats := g.Stats()
-	res.Stages = stats
 	res.OverlapSec = pipeline.Overlap(stats)
+	// Per-stage throughput: compress consumes the raw field bytes,
+	// packing consumes the compressed streams, the transfer ships the
+	// packed archives, and decompression delivers raw bytes back — so
+	// compress/decompress MB/s are directly comparable to the codec's
+	// single-stream throughput and to the link's rate.
+	pipeline.AttachThroughput(stats, "compress", res.RawBytes)
+	pipeline.AttachThroughput(stats, "pack", res.CompressedBytes)
+	pipeline.AttachThroughput(stats, "transfer", res.GroupedBytes)
+	pipeline.AttachThroughput(stats, "decompress", res.RawBytes)
+	res.Stages = stats
 	for _, s := range stats {
 		switch s.Name {
 		case "compress":

@@ -327,3 +327,45 @@ func TestPipelinedCompressErrorNotMasked(t *testing.T) {
 		t.Errorf("root cause masked: %v", err)
 	}
 }
+
+// TestCampaignStageThroughput: every campaign stage must carry a byte
+// attribution and a derived MB/s, with compress/decompress measured over
+// raw bytes and pack/transfer over their on-the-wire volumes.
+func TestCampaignStageThroughput(t *testing.T) {
+	fields := pipelineFields(t, 6, 24)
+	res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
+		CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 2, GroupParam: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := map[string]int64{
+		"compress":   res.RawBytes,
+		"pack":       res.CompressedBytes,
+		"transfer":   res.GroupedBytes,
+		"decompress": res.RawBytes,
+	}
+	seen := 0
+	for _, s := range res.Stages {
+		want, ok := wantBytes[s.Name]
+		if !ok {
+			continue
+		}
+		seen++
+		if s.Bytes != want {
+			t.Errorf("stage %s: Bytes = %d, want %d", s.Name, s.Bytes, want)
+		}
+		if s.WallSec > 0 && s.MBps <= 0 {
+			t.Errorf("stage %s: MBps = %g with wall %g", s.Name, s.MBps, s.WallSec)
+		}
+		if s.WallSec > 0 {
+			wantRate := float64(s.Bytes) / 1e6 / s.WallSec
+			if diff := s.MBps - wantRate; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("stage %s: MBps %g != bytes/wall %g", s.Name, s.MBps, wantRate)
+			}
+		}
+	}
+	if seen != 4 {
+		t.Errorf("attributed %d stages, want 4", seen)
+	}
+}

@@ -38,6 +38,7 @@ func Drivers() []Driver {
 		{"Planner", Planner},
 		{"ParallelCompression", ParallelCompression},
 		{"CodecShootout", CodecShootout},
+		{"HotPath", HotPath},
 	}
 }
 

@@ -4,18 +4,23 @@
 // code lengths need to be serialized), and packs codes MSB-first via
 // package bitstream.
 //
-// The decoder reconstructs the canonical table from the serialized lengths
-// and decodes with a simple length-bucketed lookup, which is fast enough for
-// the symbol alphabets used here (quantization bins, typically ≤ 2^16
-// distinct symbols).
+// The decoder is table-driven: a 12-bit first-level lookup resolves nearly
+// every realistic code with one peek, and longer codes fall back to a
+// canonical length-bucket walk (see decoder.go). The hot-path APIs —
+// EncodeTo and DecodeInto — operate on the compact SymbolStream
+// representation and write into caller-provided buffers sized exactly via
+// EncodedBits, so steady-state coding performs no per-symbol allocations.
+// The pre-table bit-by-bit decoder survives as ReferenceDecode (see
+// reference.go), pinned as the byte-compatibility oracle and benchmark
+// baseline.
 package huffman
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ocelot/internal/bitstream"
 )
@@ -38,40 +43,68 @@ type Code struct {
 }
 
 // Table is a canonical Huffman code table mapping symbol -> code.
+//
+// Codes are stored densely over the window [base, base+len(codes)) — the
+// span from the smallest to the largest coded symbol. Quantization-bin
+// alphabets are huge (2×radius, 65536 by default) but the occupied bins
+// cluster tightly around the zero bin, so windowing shrinks the per-table
+// allocation and the serialize walk from alphabet-sized to used-span-sized
+// without changing the serialized bytes (which record the full alphabet).
 type Table struct {
-	codes   []Code
-	symbols int
+	codes    []Code // indexed by sym - base
+	base     int    // smallest coded symbol
+	alphabet int    // full alphabet size (max symbol + 1)
+	symbols  int    // number of coded symbols
 }
 
-type hNode struct {
-	freq        uint64
-	symbol      int // -1 for internal
-	left, right *hNode
-	order       int // tie-break for determinism
+// leafSort sorts table-build leaves by (freq, symbol) without the closure
+// allocation sort.Slice pays.
+type leafSort struct {
+	freqs []uint64
+	syms  []int32
 }
 
-type hHeap []*hNode
-
-func (h hHeap) Len() int { return len(h) }
-func (h hHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+func (s *leafSort) Len() int { return len(s.syms) }
+func (s *leafSort) Less(i, j int) bool {
+	if s.freqs[i] != s.freqs[j] {
+		return s.freqs[i] < s.freqs[j]
 	}
-	return h[i].order < h[j].order
+	return s.syms[i] < s.syms[j]
 }
-func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
-func (h *hHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (s *leafSort) Swap(i, j int) {
+	s.freqs[i], s.freqs[j] = s.freqs[j], s.freqs[i]
+	s.syms[i], s.syms[j] = s.syms[j], s.syms[i]
 }
+
+// buildScratch pools the table-construction working set: leaf arrays, the
+// merge tree, and the window-length buffer. BuildTable runs once per
+// compressed field, and without pooling its transient arrays dominated the
+// compressor's allocation profile.
+type buildScratch struct {
+	sorter  leafSort
+	restF   []uint64 // stable-partition spill for freq ≥ 2 leaves
+	restS   []int32
+	freqw   []uint64 // node frequencies: leaves then internals
+	parent  []int32
+	depth   []uint8
+	lengths []uint8
+}
+
+var buildScratchPool = sync.Pool{New: func() interface{} { return &buildScratch{} }}
 
 // BuildTable constructs a canonical Huffman table from symbol frequencies.
 // freqs[i] is the occurrence count of symbol i; zero-frequency symbols get
 // no code. At least one symbol must have nonzero frequency.
+//
+// The optimal code lengths come from the sorted two-queue merge rather
+// than a pointer-node heap: leaves sorted by (freq, symbol) are merged
+// against a FIFO of internal nodes whose frequencies are non-decreasing by
+// construction, with ties preferring leaves. That ordering reproduces the
+// reference heap's (freq, order) tie-break exactly — leaves carry their
+// symbol as order, internal nodes are created in increasing order — so the
+// assigned lengths, and therefore every emitted stream byte, are identical
+// to ReferenceBuildTable's (pinned by TestBuildTableMatchesReference and
+// the frozen golden streams).
 func BuildTable(freqs []uint64) (*Table, error) {
 	if len(freqs) == 0 {
 		return nil, errors.New("huffman: empty alphabet")
@@ -79,89 +112,222 @@ func BuildTable(freqs []uint64) (*Table, error) {
 	if len(freqs) > 1<<24 {
 		return nil, ErrTooManySymbols
 	}
-	var nodes []*hNode
+	sc := buildScratchPool.Get().(*buildScratch)
+	defer buildScratchPool.Put(sc)
+	lfreq := sc.sorter.freqs[:0]
+	lsym := sc.sorter.syms[:0]
 	for sym, f := range freqs {
 		if f > 0 {
-			nodes = append(nodes, &hNode{freq: f, symbol: sym, order: sym})
+			lfreq = append(lfreq, f)
+			lsym = append(lsym, int32(sym))
 		}
 	}
-	if len(nodes) == 0 {
+	sc.sorter.freqs, sc.sorter.syms = lfreq, lsym
+	k := len(lsym)
+	if k == 0 {
 		return nil, errors.New("huffman: no symbols with nonzero frequency")
 	}
-	lengths := make([]uint8, len(freqs))
-	if len(nodes) == 1 {
+	base := int(lsym[0])
+	window := int(lsym[k-1]) - base + 1
+	if cap(sc.lengths) < window {
+		sc.lengths = make([]uint8, window)
+	}
+	lengths := sc.lengths[:window]
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	if k == 1 {
 		// Degenerate alphabet: assign a 1-bit code.
-		lengths[nodes[0].symbol] = 1
-	} else {
-		h := hHeap(nodes)
-		heap.Init(&h)
-		order := len(freqs)
-		for h.Len() > 1 {
-			a := heap.Pop(&h).(*hNode)
-			b := heap.Pop(&h).(*hNode)
-			order++
-			heap.Push(&h, &hNode{
-				freq: a.freq + b.freq, symbol: -1, left: a, right: b, order: order,
-			})
-		}
-		root := h[0]
-		if err := assignLengths(root, 0, lengths); err != nil {
-			// Pathologically skewed distributions can exceed the supported
-			// depth; fall back to near-uniform codes (depth ≤ log2 alphabet).
-			flat := make([]uint64, len(freqs))
-			for sym, f := range freqs {
-				if f > 0 {
-					flat[sym] = 1
-				}
-			}
-			return BuildTable(flat)
+		lengths[0] = 1
+		return tableFromLengthsWindow(lengths, base, len(freqs), true)
+	}
+	// Sort leaves by (freq, symbol). Noisy fields put most of their mass
+	// in a long tail of frequency-1 bins; those are already in the
+	// required relative order (equal freq, symbols ascending from the
+	// collection pass) and sort before every freq ≥ 2 leaf, so a stable
+	// partition moves them to the front untouched and the comparison sort
+	// only pays for the minority.
+	restF := sc.restF[:0]
+	restS := sc.restS[:0]
+	ones := 0
+	for i := 0; i < k; i++ {
+		if lfreq[i] == 1 {
+			lfreq[ones] = lfreq[i]
+			lsym[ones] = lsym[i]
+			ones++
+		} else {
+			restF = append(restF, lfreq[i])
+			restS = append(restS, lsym[i])
 		}
 	}
-	return tableFromLengths(lengths)
+	sc.restF, sc.restS = restF, restS
+	copy(lfreq[ones:], restF)
+	copy(lsym[ones:], restS)
+	sort.Sort(&leafSort{lfreq[ones:], lsym[ones:]})
+
+	// Two-queue merge over flat arrays: nodes 0..k-1 are the sorted
+	// leaves, k..2k-2 the internals in creation order.
+	n := 2*k - 1
+	if cap(sc.freqw) < n {
+		sc.freqw = make([]uint64, n)
+		sc.parent = make([]int32, n)
+		sc.depth = make([]uint8, n)
+	}
+	freqw := sc.freqw[:n]
+	parent := sc.parent[:n]
+	depth := sc.depth[:n]
+	copy(freqw, lfreq)
+	li, ii := 0, k
+	for next := k; next < n; next++ {
+		for c := 0; c < 2; c++ {
+			var pick int
+			if li < k && (ii >= next || freqw[li] <= freqw[ii]) {
+				pick = li
+				li++
+			} else {
+				pick = ii
+				ii++
+			}
+			if c == 0 {
+				freqw[next] = freqw[pick]
+			} else {
+				freqw[next] += freqw[pick]
+			}
+			parent[pick] = int32(next)
+		}
+	}
+
+	// Depths top-down: parents are always created (and indexed) after
+	// their children, so one descending pass resolves every node. Depths
+	// cannot overflow uint8: depth d requires total frequency ≥ Fib(d+1),
+	// and Fib(93) already exceeds 2^64.
+	depth[n-1] = 0
+	overflow := false
+	for v := n - 2; v >= 0; v-- {
+		d := depth[parent[v]] + 1
+		depth[v] = d
+		if v < k && d > maxCodeLen {
+			overflow = true
+		}
+	}
+	if overflow {
+		// Pathologically skewed distributions can exceed the supported
+		// depth; fall back to near-uniform codes (depth ≤ log2 alphabet).
+		flat := make([]uint64, len(freqs))
+		for sym, f := range freqs {
+			if f > 0 {
+				flat[sym] = 1
+			}
+		}
+		return BuildTable(flat)
+	}
+	for i := 0; i < k; i++ {
+		lengths[lsym[i]-int32(base)] = depth[i]
+	}
+	return tableFromLengthsWindow(lengths, base, len(freqs), true)
 }
 
-func assignLengths(n *hNode, depth uint8, lengths []uint8) error {
-	if n.symbol >= 0 {
-		if depth == 0 {
-			depth = 1
+// symLen pairs a symbol with its code length for canonical ordering.
+type symLen struct {
+	sym int32
+	ln  uint8
+}
+
+// canonicalOrder returns the symbols with nonzero code length sorted by
+// (length, symbol) — the canonical assignment order — appended to dst. It
+// is the single ordering authority shared by table construction
+// (tableFromLengths) and decoder construction (decoder.init), replacing
+// the two sort.Slice passes that previously re-derived the same order. A
+// counting sort by length keeps it O(n + maxLen) and deterministic.
+func canonicalOrder(lengths []uint8, dst []symLen) ([]symLen, error) {
+	var count [maxCodeLen + 1]int32
+	used := 0
+	for _, ln := range lengths {
+		if ln == 0 {
+			continue
 		}
-		if depth > maxCodeLen {
-			return fmt.Errorf("huffman: code length %d exceeds max %d", depth, maxCodeLen)
+		if ln > maxCodeLen {
+			return nil, ErrCorrupt
 		}
-		lengths[n.symbol] = depth
-		return nil
+		count[ln]++
+		used++
 	}
-	if err := assignLengths(n.left, depth+1, lengths); err != nil {
-		return err
+	if used == 0 {
+		return nil, ErrCorrupt
 	}
-	return assignLengths(n.right, depth+1, lengths)
+	var start [maxCodeLen + 1]int32
+	var s int32
+	for ln := 1; ln <= maxCodeLen; ln++ {
+		start[ln] = s
+		s += count[ln]
+	}
+	if cap(dst) < used {
+		dst = make([]symLen, used)
+	}
+	dst = dst[:used]
+	for sym, ln := range lengths {
+		if ln == 0 {
+			continue
+		}
+		dst[start[ln]] = symLen{int32(sym), ln}
+		start[ln]++
+	}
+	return dst, nil
+}
+
+// tableCodesPool recycles code windows between released tables. The
+// escape bin sits at symbol 0, so any field with literals stretches the
+// window across half the alphabet (~0.5–1 MiB of Code entries) — garbage
+// the compressor would otherwise produce once per field.
+var tableCodesPool = sync.Pool{New: func() interface{} { return new([]Code) }}
+
+// Release returns the table's code window to the internal pool. Optional:
+// callers on the compression hot path (which build one table per field)
+// release; everyone else lets the GC take it. The table must not be used
+// after Release.
+func (t *Table) Release() {
+	c := t.codes
+	if c == nil {
+		return
+	}
+	t.codes = nil
+	tableCodesPool.Put(&c)
+}
+
+// pooledCodes returns a zeroed length-n code window, reusing pool capacity.
+func pooledCodes(n int) []Code {
+	p := tableCodesPool.Get().(*[]Code)
+	s := *p
+	if cap(s) < n {
+		return make([]Code, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = Code{}
+	}
+	return s
 }
 
 // tableFromLengths assigns canonical codes: symbols sorted by (length, value).
 func tableFromLengths(lengths []uint8) (*Table, error) {
-	type symLen struct {
-		sym int
-		ln  uint8
+	return tableFromLengthsWindow(lengths, 0, len(lengths), false)
+}
+
+// tableFromLengthsWindow builds a table whose lengths slice covers the
+// symbol window [base, base+len(lengths)) of an alphabet-sized alphabet.
+// pooled selects the recycled code window (hot path); the reference
+// builders pass false so the pre-overhaul allocation profile stays honest.
+func tableFromLengthsWindow(lengths []uint8, base, alphabet int, pooled bool) (*Table, error) {
+	used, err := canonicalOrder(lengths, nil)
+	if err != nil {
+		return nil, err
 	}
-	var used []symLen
-	for sym, ln := range lengths {
-		if ln > 0 {
-			if ln > maxCodeLen {
-				return nil, ErrCorrupt
-			}
-			used = append(used, symLen{sym, ln})
-		}
+	var codes []Code
+	if pooled {
+		codes = pooledCodes(len(lengths))
+	} else {
+		codes = make([]Code, len(lengths))
 	}
-	if len(used) == 0 {
-		return nil, ErrCorrupt
-	}
-	sort.Slice(used, func(i, j int) bool {
-		if used[i].ln != used[j].ln {
-			return used[i].ln < used[j].ln
-		}
-		return used[i].sym < used[j].sym
-	})
-	codes := make([]Code, len(lengths))
 	var code uint64
 	prevLen := used[0].ln
 	for _, sl := range used {
@@ -174,7 +340,7 @@ func tableFromLengths(lengths []uint8) (*Table, error) {
 		code++
 		prevLen = sl.ln
 	}
-	return &Table{codes: codes, symbols: len(used)}, nil
+	return &Table{codes: codes, base: base, alphabet: alphabet, symbols: len(used)}, nil
 }
 
 // NumSymbols reports the number of symbols with assigned codes.
@@ -182,6 +348,7 @@ func (t *Table) NumSymbols() int { return t.symbols }
 
 // CodeFor returns the code for symbol sym, or Len==0 if unused.
 func (t *Table) CodeFor(sym int) Code {
+	sym -= t.base
 	if sym < 0 || sym >= len(t.codes) {
 		return Code{}
 	}
@@ -189,43 +356,184 @@ func (t *Table) CodeFor(sym int) Code {
 }
 
 // AlphabetSize reports the size of the alphabet (max symbol + 1).
-func (t *Table) AlphabetSize() int { return len(t.codes) }
+func (t *Table) AlphabetSize() int { return t.alphabet }
 
 // EncodedBits returns the total bits required to encode data with this table,
 // or an error if data contains a symbol without a code.
 func (t *Table) EncodedBits(data []int) (int, error) {
 	total := 0
 	for _, sym := range data {
-		if sym < 0 || sym >= len(t.codes) || t.codes[sym].Len == 0 {
+		w := sym - t.base
+		if w < 0 || w >= len(t.codes) || t.codes[w].Len == 0 {
 			return 0, fmt.Errorf("huffman: symbol %d has no code", sym)
 		}
-		total += int(t.codes[sym].Len)
+		total += int(t.codes[w].Len)
 	}
 	return total, nil
 }
 
-// Encode compresses data (symbol stream) using table t and returns the
-// serialized stream: [table][count][payload bits].
-func Encode(data []int, t *Table) ([]byte, error) {
-	header := t.serialize()
-	w := bitstream.NewWriter(len(data)/2 + 16)
-	for _, sym := range data {
-		if sym < 0 || sym >= len(t.codes) {
-			return nil, fmt.Errorf("huffman: symbol %d out of alphabet", sym)
+// EncodedBitsStream is EncodedBits over the compact representation. It also
+// validates the stream: every symbol must have a code, and the number of
+// WideEscape markers must match the Wide lane exactly.
+func (t *Table) EncodedBitsStream(s *SymbolStream) (int, error) {
+	total := 0
+	wi := 0
+	for _, p := range s.Packed {
+		sym := int(p)
+		if p == WideEscape {
+			if wi >= len(s.Wide) {
+				return 0, fmt.Errorf("huffman: %d escape markers for %d wide symbols", wi+1, len(s.Wide))
+			}
+			sym = int(s.Wide[wi])
+			wi++
 		}
-		c := t.codes[sym]
-		if c.Len == 0 {
-			return nil, fmt.Errorf("huffman: symbol %d has no code", sym)
+		w := sym - t.base
+		if w < 0 || w >= len(t.codes) || t.codes[w].Len == 0 {
+			return 0, fmt.Errorf("huffman: symbol %d has no code", sym)
 		}
-		w.WriteBits(c.Bits, uint(c.Len))
+		total += int(t.codes[w].Len)
 	}
-	payload := w.Bytes()
-	out := make([]byte, 0, len(header)+8+len(payload))
-	out = append(out, header...)
+	if wi != len(s.Wide) {
+		return 0, fmt.Errorf("huffman: %d escape markers for %d wide symbols", wi, len(s.Wide))
+	}
+	return total, nil
+}
+
+// encodedSize returns the exact byte size of the serialized stream for a
+// payload of payloadBits bits: table header + symbol count + payload.
+func (t *Table) encodedSize(payloadBits int) int {
+	return t.serializedSize() + 8 + (payloadBits+7)/8
+}
+
+// Encode compresses data (symbol stream) using table t and returns the
+// serialized stream: [table][count][payload bits]. The output is sized
+// exactly from EncodedBits — no regrows on dense streams.
+func Encode(data []int, t *Table) ([]byte, error) {
+	bits, err := t.EncodedBits(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, t.encodedSize(bits))
+	out = t.serializeTo(out)
 	var cnt [8]byte
 	binary.LittleEndian.PutUint64(cnt[:], uint64(len(data)))
 	out = append(out, cnt[:]...)
-	out = append(out, payload...)
+	w := bitstream.NewWriterBuf(out)
+	for _, sym := range data {
+		// EncodedBits validated every symbol above.
+		c := t.codes[sym-t.base]
+		w.WriteBits(c.Bits, uint(c.Len))
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeTo compresses the symbol stream s with table t and appends the
+// serialized stream to dst, growing it at most once (the exact output size
+// is known up front from EncodedBitsStream). The emitted bytes are
+// identical to Encode's for the same symbols. It is the hot encode path:
+// callers reuse dst across fields so steady-state encoding allocates
+// nothing.
+func EncodeTo(dst []byte, s *SymbolStream, t *Table) ([]byte, error) {
+	bits, err := t.EncodedBitsStream(s)
+	if err != nil {
+		return nil, err
+	}
+	need := len(dst) + t.encodedSize(bits)
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := t.serializeTo(dst)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(s.Len()))
+	out = append(out, cnt[:]...)
+	w := bitstream.NewWriterBuf(out)
+	wi := 0
+	base := int32(t.base)
+	for _, p := range s.Packed {
+		sym := int32(p)
+		if p == WideEscape {
+			sym = s.Wide[wi]
+			wi++
+		}
+		c := t.codes[sym-base]
+		w.WriteBits(c.Bits, uint(c.Len))
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeToSized is EncodeTo for callers that already know the payload bit
+// count — the SZ pipeline derives it from the same frequency table the
+// Huffman table was built from, so re-walking the symbol stream to count
+// bits would be pure waste. payloadBits must equal what EncodedBitsStream
+// would return; symbols without a code and wide-lane inconsistencies are
+// still detected in the write loop.
+func EncodeToSized(dst []byte, s *SymbolStream, t *Table, payloadBits int) ([]byte, error) {
+	need := len(dst) + t.encodedSize(payloadBits)
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	out := t.serializeTo(dst)
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], uint64(s.Len()))
+	out = append(out, cnt[:]...)
+	// The pack loop keeps the bit-writer state in locals (left-aligned
+	// accumulator flushed eight bytes at a time), emitting exactly the
+	// MSB-first packing bitstream.Writer produces — pinned byte-identical
+	// to the Writer paths by the encode-equivalence tests.
+	var acc uint64
+	var nbit uint
+	var word [8]byte
+	wi := 0
+	base := int32(t.base)
+	codes := t.codes
+	for _, p := range s.Packed {
+		sym := int32(p)
+		if p == WideEscape {
+			if wi >= len(s.Wide) {
+				return nil, fmt.Errorf("huffman: %d escape markers for %d wide symbols", wi+1, len(s.Wide))
+			}
+			sym = s.Wide[wi]
+			wi++
+		}
+		sw := sym - base
+		if sw < 0 || int(sw) >= len(codes) || codes[sw].Len == 0 {
+			return nil, fmt.Errorf("huffman: symbol %d has no code", sym)
+		}
+		c := codes[sw]
+		width := uint(c.Len)
+		if free := 64 - nbit; width <= free {
+			acc = acc<<width | c.Bits
+			nbit += width
+			if nbit == 64 {
+				binary.BigEndian.PutUint64(word[:], acc)
+				out = append(out, word[:]...)
+				acc, nbit = 0, 0
+			}
+			continue
+		}
+		take := 64 - nbit
+		acc = acc<<take | c.Bits>>(width-take)
+		binary.BigEndian.PutUint64(word[:], acc)
+		out = append(out, word[:]...)
+		rem := width - take
+		acc = c.Bits & (1<<rem - 1)
+		nbit = rem
+	}
+	// Flush the partial word, padding the final byte with zero bits.
+	if nbit > 0 {
+		if pad := (8 - nbit%8) % 8; pad > 0 {
+			acc <<= pad
+			nbit += pad
+		}
+		for nbit > 0 {
+			out = append(out, byte(acc>>(nbit-8)))
+			nbit -= 8
+		}
+	}
 	return out, nil
 }
 
@@ -252,171 +560,43 @@ func EncodeWithFreqs(data []int, alphabetSize int) ([]byte, error) {
 	return Encode(data, t)
 }
 
-// Decode decompresses a stream produced by Encode/EncodeWithFreqs.
-func Decode(stream []byte) ([]int, error) {
-	t, rest, err := deserializeTable(stream)
-	if err != nil {
-		return nil, err
-	}
-	if len(rest) < 8 {
-		return nil, ErrCorrupt
-	}
-	count := binary.LittleEndian.Uint64(rest[:8])
-	if count > 1<<40 {
-		return nil, ErrCorrupt
-	}
-	payload := rest[8:]
-	// Every symbol consumes at least one payload bit, so a count beyond
-	// the payload's bit length is a lie — reject it before allocating
-	// count ints (a crafted 16-byte stream must not demand terabytes).
-	if count > uint64(len(payload))*8 {
-		return nil, ErrCorrupt
-	}
-	dec, err := newDecoder(t)
-	if err != nil {
-		return nil, err
-	}
-	r := bitstream.NewReader(payload)
-	out := make([]int, count)
-	for i := range out {
-		sym, err := dec.decodeOne(r)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sym
-	}
-	return out, nil
+// serializedSize is the exact byte length serialize emits.
+func (t *Table) serializedSize() int {
+	return 8 + t.symbols*5
 }
 
-// serialize emits the canonical table as:
+// serializeTo appends the canonical table to dst as:
 // [u32 alphabetSize][u32 usedCount] then usedCount × ([u32 symbol][u8 len]).
-func (t *Table) serialize() []byte {
-	var out []byte
+func (t *Table) serializeTo(dst []byte) []byte {
 	var b4 [4]byte
-	binary.LittleEndian.PutUint32(b4[:], uint32(len(t.codes)))
-	out = append(out, b4[:]...)
+	binary.LittleEndian.PutUint32(b4[:], uint32(t.alphabet))
+	dst = append(dst, b4[:]...)
 	binary.LittleEndian.PutUint32(b4[:], uint32(t.symbols))
-	out = append(out, b4[:]...)
-	for sym, c := range t.codes {
+	dst = append(dst, b4[:]...)
+	for w, c := range t.codes {
 		if c.Len == 0 {
 			continue
 		}
-		binary.LittleEndian.PutUint32(b4[:], uint32(sym))
-		out = append(out, b4[:]...)
-		out = append(out, c.Len)
+		binary.LittleEndian.PutUint32(b4[:], uint32(w+t.base))
+		dst = append(dst, b4[:]...)
+		dst = append(dst, c.Len)
 	}
-	return out
+	return dst
+}
+
+// serialize emits the canonical table, preallocated to its exact size.
+func (t *Table) serialize() []byte {
+	return t.serializeTo(make([]byte, 0, t.serializedSize()))
 }
 
 func deserializeTable(stream []byte) (*Table, []byte, error) {
-	if len(stream) < 8 {
-		return nil, nil, ErrCorrupt
-	}
-	alphabet := int(binary.LittleEndian.Uint32(stream[:4]))
-	used := int(binary.LittleEndian.Uint32(stream[4:8]))
-	if alphabet <= 0 || alphabet > 1<<24 || used <= 0 || used > alphabet {
-		return nil, nil, ErrCorrupt
-	}
-	need := 8 + used*5
-	if len(stream) < need {
-		return nil, nil, ErrCorrupt
-	}
-	lengths := make([]uint8, alphabet)
-	off := 8
-	for i := 0; i < used; i++ {
-		sym := int(binary.LittleEndian.Uint32(stream[off : off+4]))
-		ln := stream[off+4]
-		off += 5
-		if sym < 0 || sym >= alphabet || ln == 0 || ln > maxCodeLen {
-			return nil, nil, ErrCorrupt
-		}
-		lengths[sym] = ln
+	lengths, rest, err := parseTableLengths(stream, nil)
+	if err != nil {
+		return nil, nil, err
 	}
 	t, err := tableFromLengths(lengths)
 	if err != nil {
 		return nil, nil, err
 	}
-	return t, stream[need:], nil
-}
-
-// decoder performs canonical decoding by length buckets: for each code
-// length L it records the first code value and the index of the first
-// symbol with that length in the sorted symbol list.
-type decoder struct {
-	firstCode  [maxCodeLen + 2]uint64
-	firstIndex [maxCodeLen + 2]int
-	count      [maxCodeLen + 2]int
-	symbols    []int // sorted by (len, symbol)
-	minLen     uint8
-	maxLen     uint8
-}
-
-func newDecoder(t *Table) (*decoder, error) {
-	type symLen struct {
-		sym int
-		ln  uint8
-	}
-	var used []symLen
-	for sym, c := range t.codes {
-		if c.Len > 0 {
-			used = append(used, symLen{sym, c.Len})
-		}
-	}
-	if len(used) == 0 {
-		return nil, ErrCorrupt
-	}
-	sort.Slice(used, func(i, j int) bool {
-		if used[i].ln != used[j].ln {
-			return used[i].ln < used[j].ln
-		}
-		return used[i].sym < used[j].sym
-	})
-	d := &decoder{
-		symbols: make([]int, len(used)),
-		minLen:  used[0].ln,
-		maxLen:  used[len(used)-1].ln,
-	}
-	for i, sl := range used {
-		d.symbols[i] = sl.sym
-		d.count[sl.ln]++
-	}
-	var code uint64
-	idx := 0
-	for ln := d.minLen; ln <= d.maxLen; ln++ {
-		d.firstCode[ln] = code
-		d.firstIndex[ln] = idx
-		code = (code + uint64(d.count[ln])) << 1
-		idx += d.count[ln]
-	}
-	return d, nil
-}
-
-func (d *decoder) decodeOne(r *bitstream.Reader) (int, error) {
-	var code uint64
-	var ln uint8
-	for ln < d.minLen {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		code = code<<1 | uint64(b)
-		ln++
-	}
-	for {
-		if d.count[ln] > 0 {
-			offset := code - d.firstCode[ln]
-			if code >= d.firstCode[ln] && offset < uint64(d.count[ln]) {
-				return d.symbols[d.firstIndex[ln]+int(offset)], nil
-			}
-		}
-		if ln >= d.maxLen {
-			return 0, ErrCorrupt
-		}
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
-		}
-		code = code<<1 | uint64(b)
-		ln++
-	}
+	return t, rest, nil
 }

@@ -1,0 +1,68 @@
+package huffman
+
+// WideEscape is the in-memory marker a SymbolStream stores in its packed
+// lane for symbols that do not fit in 15.99 bits: any symbol ≥ WideEscape
+// is represented as the marker plus an entry in the Wide side array. The
+// escape is purely an in-memory representation — encoded streams carry the
+// real symbol and are byte-identical to the []int API's output.
+const WideEscape = 0xFFFF
+
+// SymbolStream is the compact in-memory representation of a symbol
+// sequence: two bytes per symbol instead of the eight an []int costs,
+// which halves-to-quarters the memory traffic of the entropy stage for
+// the quantization-code alphabets the SZ pipeline produces (≤ 2^16 bins
+// in every default configuration).
+//
+// Symbols ≥ WideEscape — possible only with an oversized quantizer radius
+// or an exotic alphabet — take the escape-extension path: the packed lane
+// holds WideEscape and the actual symbol is appended to Wide, in stream
+// order. Readers that walk Packed sequentially resolve escapes by
+// consuming Wide with a second cursor.
+type SymbolStream struct {
+	// Packed holds one entry per symbol; WideEscape entries defer to Wide.
+	Packed []uint16
+	// Wide holds the symbols ≥ WideEscape, in the order they appear.
+	Wide []int32
+}
+
+// Append adds one symbol. sym must be in [0, 1<<24).
+func (s *SymbolStream) Append(sym int) {
+	if sym >= WideEscape {
+		s.Packed = append(s.Packed, WideEscape)
+		s.Wide = append(s.Wide, int32(sym))
+		return
+	}
+	s.Packed = append(s.Packed, uint16(sym))
+}
+
+// Len reports the number of symbols in the stream.
+func (s *SymbolStream) Len() int { return len(s.Packed) }
+
+// Reset empties the stream, retaining both lanes' capacity for reuse.
+func (s *SymbolStream) Reset() {
+	s.Packed = s.Packed[:0]
+	s.Wide = s.Wide[:0]
+}
+
+// Ints expands the stream to the []int representation (primarily for
+// tests and the compatibility APIs).
+func (s *SymbolStream) Ints() []int {
+	out := make([]int, len(s.Packed))
+	wi := 0
+	for i, p := range s.Packed {
+		if p == WideEscape && wi < len(s.Wide) {
+			out[i] = int(s.Wide[wi])
+			wi++
+			continue
+		}
+		out[i] = int(p)
+	}
+	return out
+}
+
+// AppendInts appends every symbol of data to the stream.
+func (s *SymbolStream) AppendInts(data []int) {
+	for _, v := range data {
+		s.Append(v)
+	}
+}

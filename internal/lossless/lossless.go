@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Backend selects the lossless algorithm.
@@ -48,11 +49,12 @@ var ErrCorrupt = errors.New("lossless: corrupt stream")
 func Compress(data []byte, backend Backend) ([]byte, error) {
 	var body []byte
 	var err error
+	var release func()
 	switch backend {
 	case None:
 		body = data
 	case Deflate:
-		body, err = deflateCompress(data)
+		body, release, err = deflateCompress(data)
 	case LZSS:
 		body = lzssCompress(data)
 	default:
@@ -70,6 +72,63 @@ func Compress(data []byte, backend Backend) ([]byte, error) {
 	binary.LittleEndian.PutUint64(n[:], uint64(len(data)))
 	out = append(out, n[:]...)
 	out = append(out, body...)
+	// body has been copied into out; a pooled deflate buffer can go back.
+	if release != nil {
+		release()
+	}
+	return out, nil
+}
+
+// ReferenceCompress is Compress with the pre-pooling deflate path (a
+// fresh flate.Writer per call). It exists solely as the benchmark baseline
+// the hot-path overhaul is measured against; output bytes are identical to
+// Compress's.
+func ReferenceCompress(data []byte, backend Backend) ([]byte, error) {
+	if backend != Deflate {
+		return Compress(data, backend)
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	body := buf.Bytes()
+	if len(body) >= len(data) {
+		backend, body = None, data
+	}
+	out := make([]byte, 0, len(body)+9)
+	out = append(out, byte(backend))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(data)))
+	out = append(out, n[:]...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// ReferenceDecompress is Decompress with the pre-pooling inflate path (a
+// fresh flate.Reader per call); the benchmark baseline counterpart of
+// ReferenceCompress.
+func ReferenceDecompress(stream []byte) ([]byte, error) {
+	if len(stream) < 9 || Backend(stream[0]) != Deflate {
+		return Decompress(stream)
+	}
+	size := binary.LittleEndian.Uint64(stream[1:9])
+	body := stream[9:]
+	if size > 1<<40 || size > 4096*uint64(len(body))+64 {
+		return nil, ErrCorrupt
+	}
+	r := flate.NewReader(bytes.NewReader(body))
+	defer r.Close()
+	out := make([]byte, size)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("lossless: inflate: %w", ErrCorrupt)
+	}
 	return out, nil
 }
 
@@ -108,24 +167,58 @@ func Decompress(stream []byte) ([]byte, error) {
 	}
 }
 
-func deflateCompress(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
-	if err != nil {
-		return nil, err
+// Flate keeps large internal state (hash chains on the write side, a
+// sliding window on the read side) that the standard constructors allocate
+// per call; pooling the coders — and the output buffer, whose bytes
+// Compress copies into the framed stream before releasing — removes that
+// cost from the compression hot path. flate output is deterministic for a
+// given input and level, and Reset restores the initial coder state, so
+// pooled coders emit byte-identical streams.
+var (
+	deflateWriterPool sync.Pool
+	deflateReaderPool sync.Pool
+	deflateBufPool    = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+)
+
+// deflateCompress returns the compressed body plus a release function that
+// recycles the backing buffer; the caller must copy the body out before
+// calling release.
+func deflateCompress(data []byte) ([]byte, func(), error) {
+	buf := deflateBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	release := func() { deflateBufPool.Put(buf) }
+	w, _ := deflateWriterPool.Get().(*flate.Writer)
+	if w == nil {
+		var err error
+		w, err = flate.NewWriter(buf, flate.DefaultCompression)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+	} else {
+		w.Reset(buf)
 	}
+	defer deflateWriterPool.Put(w)
 	if _, err := w.Write(data); err != nil {
-		return nil, err
+		release()
+		return nil, nil, err
 	}
 	if err := w.Close(); err != nil {
-		return nil, err
+		release()
+		return nil, nil, err
 	}
-	return buf.Bytes(), nil
+	return buf.Bytes(), release, nil
 }
 
 func deflateDecompress(body []byte, size int) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(body))
-	defer r.Close()
+	br := bytes.NewReader(body)
+	r, _ := deflateReaderPool.Get().(io.ReadCloser)
+	if r == nil {
+		r = flate.NewReader(br)
+	} else if err := r.(flate.Resetter).Reset(br, nil); err != nil {
+		return nil, err
+	}
+	defer deflateReaderPool.Put(r)
 	out := make([]byte, size)
 	if _, err := io.ReadFull(r, out); err != nil {
 		return nil, fmt.Errorf("lossless: inflate: %w", ErrCorrupt)

@@ -156,12 +156,36 @@ func ByteEntropy(data []float64, elementSize int) float64 {
 	return h
 }
 
-// SymbolEntropy computes the Shannon entropy (bits/symbol) of an integer
-// symbol stream, used for the quantization-entropy feature. Accumulation
-// runs in sorted-symbol order: floating-point summation order must be
+// SymbolEntropyFromCounts computes Shannon entropy (bits/symbol) from an
+// occurrence-count table, accumulating in index order. It is the single
+// entropy kernel shared by SymbolEntropy and the SZ compressor's fused
+// frequency pass (which already holds a dense count table and must not pay
+// a second walk over the symbol stream). Accumulation order is the
+// caller-supplied index order: floating-point summation order must be
 // deterministic, because downstream decision-tree training amplifies
-// ULP-level feature differences into different split structures (and a
-// map-ordered sum made identical inputs train different models).
+// ULP-level feature differences into different split structures.
+func SymbolEntropyFromCounts(counts []uint64, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	ft := float64(total)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// SymbolEntropy computes the Shannon entropy (bits/symbol) of an integer
+// symbol stream, used for the quantization-entropy feature. Counting goes
+// through a map (symbols may be sparse and unbounded) and the counts are
+// then accumulated in sorted-symbol order via SymbolEntropyFromCounts,
+// preserving the deterministic summation order identical inputs require
+// (a map-ordered sum made identical inputs train different models).
 func SymbolEntropy(symbols []int) float64 {
 	if len(symbols) == 0 {
 		return 0
@@ -175,13 +199,11 @@ func SymbolEntropy(symbols []int) float64 {
 		syms = append(syms, s)
 	}
 	sort.Ints(syms)
-	var h float64
-	ft := float64(len(symbols))
-	for _, s := range syms {
-		p := float64(counts[s]) / ft
-		h -= p * math.Log2(p)
+	ordered := make([]uint64, len(syms))
+	for i, s := range syms {
+		ordered[i] = uint64(counts[s])
 	}
-	return h
+	return SymbolEntropyFromCounts(ordered, uint64(len(symbols)))
 }
 
 // CompressionRatio returns originalBytes / compressedBytes.

@@ -71,6 +71,33 @@ type StageStats struct {
 	// FirstStart / LastEnd anchor the stage's active window.
 	FirstStart time.Time
 	LastEnd    time.Time
+	// Bytes is the payload volume the caller attributes to the stage
+	// (e.g. raw bytes for a compression stage, archive bytes for a
+	// transfer stage); the engine itself is payload-agnostic and leaves it
+	// zero until AttachThroughput fills it in.
+	Bytes int64
+	// MBps is Bytes/1e6 divided by WallSec — the stage's delivered
+	// throughput over its active window. Per-worker efficiency is
+	// Bytes/BusySec instead; the span-based rate is what tells you whether
+	// a stage keeps pace with the link.
+	MBps float64
+}
+
+// AttachThroughput attributes bytes to the named stage and derives its
+// MBps from the stage's wall time. Callers that know what volume each
+// stage moved (the campaign engine does; the generic engine does not) call
+// this once per stage after Stats.
+func AttachThroughput(stats []StageStats, name string, bytes int64) {
+	for i := range stats {
+		if stats[i].Name != name {
+			continue
+		}
+		stats[i].Bytes = bytes
+		if stats[i].WallSec > 0 {
+			stats[i].MBps = float64(bytes) / 1e6 / stats[i].WallSec
+		}
+		return
+	}
 }
 
 // Overlap computes how much stage activity ran concurrently: the sum of

@@ -19,9 +19,16 @@ const DefaultRadius = 32768
 // Quantizer maps prediction residuals to integer codes under an absolute
 // error bound. The zero-residual bin is at code == Radius; code 0 is the
 // literal escape. The total alphabet size is 2×Radius.
+//
+// At the DefaultRadius the full alphabet fits a 16-bit symbol, which is
+// what lets the SZ entropy stage carry quantization codes in the compact
+// huffman.SymbolStream representation (two bytes per code instead of
+// eight); larger radii ride that stream's wide-symbol escape extension.
 type Quantizer struct {
 	eb     float64
+	eb2    float64 // 2×eb, precomputed: bin width, hot in Quantize/Recover
 	radius int
+	radF   float64 // float64(radius), precomputed for the range check
 }
 
 // New returns a Quantizer with the given absolute error bound and radius.
@@ -30,7 +37,11 @@ func New(eb float64, radius int) *Quantizer {
 	if radius <= 0 {
 		radius = DefaultRadius
 	}
-	return &Quantizer{eb: eb, radius: radius}
+	// 2×eb is an exact binary scaling, so precomputing it (and using
+	// b×(2·eb) in place of (b×2)×eb) yields bit-identical results to the
+	// original per-call expressions: both round the exact product 2·b·eb
+	// once. Streams stay byte-frozen.
+	return &Quantizer{eb: eb, eb2: 2 * eb, radius: radius, radF: float64(radius)}
 }
 
 // ErrorBound returns the absolute error bound.
@@ -55,15 +66,15 @@ func (q *Quantizer) Quantize(value, pred float64) (code int, recovered float64, 
 		return EscapeCode, value, false
 	}
 	// Round to nearest bin of width 2eb.
-	d := diff / (2 * q.eb)
-	if d >= float64(q.radius) || d <= -float64(q.radius) {
+	d := diff / q.eb2
+	if d >= q.radF || d <= -q.radF {
 		return EscapeCode, value, false
 	}
 	bin := int(math.Round(d))
 	if bin >= q.radius || bin <= -q.radius {
 		return EscapeCode, value, false
 	}
-	rec := pred + float64(bin)*2*q.eb
+	rec := pred + float64(bin)*q.eb2
 	// Floating-point rounding can push the recovered value past the bound;
 	// escape in that (rare) case to preserve the guarantee.
 	if math.Abs(rec-value) > q.eb {
@@ -78,5 +89,5 @@ func (q *Quantizer) Quantize(value, pred float64) (code int, recovered float64, 
 
 // Recover reconstructs a value from a prediction and a non-escape code.
 func (q *Quantizer) Recover(pred float64, code int) float64 {
-	return pred + float64(code-q.radius)*2*q.eb
+	return pred + float64(code-q.radius)*q.eb2
 }

@@ -6,6 +6,7 @@ import (
 
 	"ocelot/internal/huffman"
 	"ocelot/internal/lossless"
+	"ocelot/internal/metrics"
 	"ocelot/internal/quant"
 )
 
@@ -35,14 +36,22 @@ type Stats struct {
 // traversal drives one predictor pass. The same traversal code runs during
 // compression (data != nil: quantize and record codes/literals) and during
 // decompression (data == nil: consume codes/literals to rebuild recon).
+//
+// Quantization codes travel in the compact huffman.SymbolStream
+// representation (two bytes per symbol; codes ≥ huffman.WideEscape ride
+// the wide-escape side lane), and in encode mode the symbol frequency
+// count is fused into the traversal itself when freqs is non-nil — the
+// entropy stage no longer pays a second pass over the code stream.
 type traversal struct {
 	q        *quant.Quantizer
 	data     []float64 // original values; nil in decode mode
 	recon    []float64
-	codes    []int
+	syms     *huffman.SymbolStream
+	freqs    []uint64 // fused per-symbol counts (encode mode; may be nil)
 	literals []float64
 	coeffs   []float64
 	codeIdx  int
+	wideIdx  int
 	litIdx   int
 	coefIdx  int
 }
@@ -52,17 +61,32 @@ func (c *traversal) process(i int, pred float64) {
 	if c.data != nil {
 		code, rec, ok := c.q.Quantize(c.data[i], pred)
 		if !ok {
-			c.codes = append(c.codes, quant.EscapeCode)
+			c.syms.Packed = append(c.syms.Packed, quant.EscapeCode)
+			if c.freqs != nil {
+				c.freqs[quant.EscapeCode]++
+			}
 			c.literals = append(c.literals, c.data[i])
 			c.recon[i] = c.data[i]
 			return
 		}
-		c.codes = append(c.codes, code)
+		if code < huffman.WideEscape {
+			c.syms.Packed = append(c.syms.Packed, uint16(code))
+		} else {
+			c.syms.Packed = append(c.syms.Packed, huffman.WideEscape)
+			c.syms.Wide = append(c.syms.Wide, int32(code))
+		}
+		if c.freqs != nil {
+			c.freqs[code]++
+		}
 		c.recon[i] = rec
 		return
 	}
-	code := c.codes[c.codeIdx]
+	code := int(c.syms.Packed[c.codeIdx])
 	c.codeIdx++
+	if code == huffman.WideEscape {
+		code = int(c.syms.Wide[c.wideIdx])
+		c.wideIdx++
+	}
 	if code == quant.EscapeCode {
 		c.recon[i] = c.literals[c.litIdx]
 		c.litIdx++
@@ -74,12 +98,11 @@ func (c *traversal) process(i int, pred float64) {
 // pushCoeffs records regression coefficients during compression (rounded to
 // float32 so encode and decode predict identically).
 func (c *traversal) pushCoeffs(coefs []float64) []float64 {
-	out := make([]float64, len(coefs))
-	for i, v := range coefs {
-		out[i] = float64(float32(v))
-		c.coeffs = append(c.coeffs, out[i])
+	start := len(c.coeffs)
+	for _, v := range coefs {
+		c.coeffs = append(c.coeffs, float64(float32(v)))
 	}
-	return out
+	return c.coeffs[start:]
 }
 
 // nextCoeffs consumes coefficients during decompression.
@@ -93,7 +116,9 @@ func (c *traversal) nextCoeffs(n int) ([]float64, error) {
 }
 
 // Compress encodes data (row-major, dims[0] slowest) under cfg and returns
-// the stream plus run statistics.
+// the stream plus run statistics. Scratch buffers (code stream, frequency
+// table, reconstruction, Huffman output) come from a sync.Pool-backed
+// arena, so steady-state campaign runs allocate only the returned stream.
 func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -107,22 +132,34 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 	}
 	absEB := cfg.AbsoluteBound(data)
 	q := quant.New(absEB, cfg.Radius)
+	a := getArena()
+	defer a.release()
 	c := &traversal{
-		q:     q,
-		data:  data,
-		recon: make([]float64, len(data)),
-		codes: make([]int, 0, len(data)),
+		q:        q,
+		data:     data,
+		recon:    a.reconScratch(len(data)),
+		syms:     a.symsScratch(len(data)),
+		freqs:    a.freqsScratch(q.AlphabetSize()),
+		literals: a.literalsScratch(),
+		coeffs:   a.coeffsScratch(),
 	}
 	if err := runPredictor(c, dims, cfg); err != nil {
 		return nil, nil, err
 	}
+	// Recapture accumulators the traversal may have regrown, so the arena
+	// keeps the larger buffers for the next run.
+	a.literals = c.literals
+	a.coeffs = c.coeffs
 
-	huffBytes, huffStats, err := encodeCodes(c.codes, q.AlphabetSize())
+	huffBytes, huffStats, err := encodeCodesTo(a.enc[:0], c.syms, c.freqs, q.AlphabetSize())
 	if err != nil {
 		return nil, nil, err
 	}
+	a.enc = huffBytes
+	a.freqsCleanLen = len(c.freqs) // encodeCodesTo zeroed every used slot
 	inner := &innerPayload{literals: c.literals, coeffs: c.coeffs, huffman: huffBytes}
-	body, err := lossless.Compress(inner.marshal(), cfg.Backend)
+	a.inner = inner.marshalTo(a.inner[:0])
+	body, err := lossless.Compress(a.inner, cfg.Backend)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,7 +188,8 @@ func Compress(data []float64, dims []int, cfg Config) ([]byte, *Stats, error) {
 // Decompress decodes a stream produced by Compress — or a chunked
 // container produced by AssembleChunks/CompressChunked, which it detects by
 // magic and routes through DecompressChunked — returning the reconstructed
-// values and their shape.
+// values and their shape. The decoded code stream lives in pooled arena
+// scratch; only the returned reconstruction is allocated.
 func Decompress(stream []byte) ([]float64, []int, error) {
 	if IsChunked(stream) {
 		return DecompressChunked(stream)
@@ -168,23 +206,26 @@ func Decompress(stream []byte) ([]float64, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	codes, err := huffman.Decode(inner.huffman)
-	if err != nil {
+	a := getArena()
+	defer a.release()
+	syms := a.symsScratch(0)
+	if err := huffman.DecodeInto(syms, inner.huffman); err != nil {
 		return nil, nil, fmt.Errorf("sz: codes: %w", err)
 	}
 	n := 1
 	for _, d := range h.dims {
 		n *= d
 	}
-	if len(codes) != n {
-		return nil, nil, fmt.Errorf("sz: code count %d != points %d: %w", len(codes), n, ErrCorrupt)
+	if syms.Len() != n {
+		return nil, nil, fmt.Errorf("sz: code count %d != points %d: %w", syms.Len(), n, ErrCorrupt)
 	}
 	// The traversal consumes one literal per escape code; a crafted stream
 	// whose escape count exceeds its literal count would index past the
 	// literals slice mid-traversal, so validate the invariant up front.
+	// (Wide-lane symbols are ≥ huffman.WideEscape, never the escape bin.)
 	escapes := 0
-	for _, c := range codes {
-		if c == quant.EscapeCode {
+	for _, p := range syms.Packed {
+		if p == quant.EscapeCode {
 			escapes++
 		}
 	}
@@ -194,7 +235,7 @@ func Decompress(stream []byte) ([]float64, []int, error) {
 	c := &traversal{
 		q:        quant.New(h.absEB, h.radius),
 		recon:    make([]float64, n),
-		codes:    codes,
+		syms:     syms,
 		literals: inner.literals,
 		coeffs:   inner.coeffs,
 	}
@@ -240,62 +281,54 @@ type huffRunStats struct {
 	totalBits int
 }
 
-// encodeCodes Huffman-encodes the quantization bins and derives the
-// compressor-level features of the run.
-func encodeCodes(codes []int, alphabet int) ([]byte, huffRunStats, error) {
+// encodeCodesTo Huffman-encodes the quantization bins into dst and derives
+// the compressor-level features of the run. freqs is the symbol frequency
+// table the traversal counted in its fused pass — the function performs no
+// walk over the code stream beyond the encode itself, and the output is
+// sized exactly via the table's EncodedBits so dense streams never regrow.
+func encodeCodesTo(dst []byte, syms *huffman.SymbolStream, freqs []uint64, alphabet int) ([]byte, huffRunStats, error) {
 	var st huffRunStats
-	freqs := make([]uint64, alphabet)
-	for _, s := range codes {
-		freqs[s]++
-	}
+	n := syms.Len()
 	zero := alphabet / 2 // quantizer zero bin
-	if len(codes) > 0 {
-		st.p0 = float64(freqs[zero]) / float64(len(codes))
-		st.entropy = symbolEntropy(freqs, len(codes))
+	zeroFreq := freqs[zero]
+	if n > 0 {
+		st.p0 = float64(zeroFreq) / float64(n)
+		st.entropy = metrics.SymbolEntropyFromCounts(freqs, uint64(n))
 	}
-	if len(codes) == 0 {
+	if n == 0 {
 		freqs[0] = 1
 	}
 	table, err := huffman.BuildTable(freqs)
 	if err != nil {
 		return nil, st, err
 	}
+	defer table.Release()
+	// One pass both sums the exact payload bit count and zeroes the used
+	// frequency slots, handing the arena back a clean table — the alphabet
+	// is 64K entries, so folding the clear into a walk we already pay
+	// beats a separate 512 KiB memclr on every compression.
 	totalBits := 0
 	for sym, f := range freqs {
 		if f > 0 {
-			c := table.CodeFor(sym)
-			totalBits += int(f) * int(c.Len)
+			totalBits += int(f) * int(table.CodeFor(sym).Len)
+			freqs[sym] = 0
 		}
 	}
-	if len(codes) == 0 {
+	if n == 0 {
 		totalBits = 0
 	}
 	st.totalBits = totalBits
 	if totalBits > 0 {
-		st.bitShare0 = float64(uint64(table.CodeFor(zero).Len)*freqs[zero]) / float64(totalBits)
+		st.bitShare0 = float64(uint64(table.CodeFor(zero).Len)*zeroFreq) / float64(totalBits)
 	}
-	enc, err := huffman.Encode(codes, table)
+	// totalBits (Σ freq × code length over the fused frequency table) is
+	// exactly the payload bit count, so the encoder skips its own counting
+	// pass over the symbol stream.
+	enc, err := huffman.EncodeToSized(dst, syms, table, totalBits)
 	if err != nil {
 		return nil, st, err
 	}
 	return enc, st, nil
-}
-
-// symbolEntropy computes Shannon entropy in bits/symbol from frequencies.
-func symbolEntropy(freqs []uint64, total int) float64 {
-	if total == 0 {
-		return 0
-	}
-	var h float64
-	ft := float64(total)
-	for _, f := range freqs {
-		if f == 0 {
-			continue
-		}
-		p := float64(f) / ft
-		h -= p * math.Log2(p)
-	}
-	return h
 }
 
 // MaxAbsError returns the largest absolute difference between two equally

@@ -32,6 +32,31 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		}
 		seeds = append(seeds, stream)
 	}
+	// Table-boundary seed: four in five residuals cluster near the zero
+	// bin, the rest scatter across ~thousands of distinct bins with
+	// frequency one, so the canonical code lengths straddle the decoder's
+	// 12-bit primary table and mutation starts from a stream whose decode
+	// crosses into the overflow (second-level) path.
+	longTail := make([]float64, 8000)
+	acc := 0.0
+	for i := range longTail {
+		r := float64((uint32(i+1)*2654435761)%2000) - 1000 // deterministic noise in ±1000
+		if i%5 == 0 {
+			acc += r * 20 // wide bin, mostly unique
+		} else {
+			acc += r * 0.01 // near-zero bin
+		}
+		longTail[i] = acc * 1e-3
+	}
+	cfgTail := DefaultConfig(1e-3)
+	cfgTail.Predictor = PredictorLorenzo
+	tailStream, _, err := Compress(longTail, []int{8000}, cfgTail)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds = append(seeds, tailStream)
+	// NOTE: the chunked container must stay at len(seeds)-2 — see
+	// FuzzSplitChunked.
 	chunked, _, err := CompressChunked(data, []int{20, 30}, DefaultConfig(1e-3), 150)
 	if err != nil {
 		f.Fatal(err)

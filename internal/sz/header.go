@@ -110,7 +110,20 @@ type innerPayload struct {
 }
 
 func (p *innerPayload) marshal() []byte {
-	out := make([]byte, 0, 24+8*len(p.literals)+4*len(p.coeffs)+len(p.huffman))
+	return p.marshalTo(nil)
+}
+
+// marshalTo appends the payload to dst (growing it at most once), so the
+// hot path can reuse a pooled buffer for the marshaled body.
+func (p *innerPayload) marshalTo(dst []byte) []byte {
+	need := len(dst) + 24 + 8*len(p.literals) + 4*len(p.coeffs) + len(p.huffman)
+	var out []byte
+	if cap(dst) < need {
+		out = make([]byte, len(dst), need)
+		copy(out, dst)
+	} else {
+		out = dst
+	}
 	var b8 [8]byte
 	var b4 [4]byte
 	binary.LittleEndian.PutUint64(b8[:], uint64(len(p.literals)))

@@ -60,32 +60,41 @@ func interpAxis(c *traversal, dims, strides []int, d, stride, h int, mode Interp
 		return
 	}
 	axisStride := strides[d]
+	// The flat index is maintained incrementally: stepping along axis d
+	// (the overwhelmingly common advance) adds a constant, and only a
+	// carry into another axis — once per line — recomputes from coords.
+	// The visit order is identical to the original full recomputation, so
+	// the emitted codes (and stream bytes) are unchanged.
+	idx := 0
+	for a := 0; a < nd; a++ {
+		idx += coords[a] * strides[a]
+	}
+	dStep := steps[d] * axisStride
 	for {
-		// Compute flat index.
-		idx := 0
-		for a := 0; a < nd; a++ {
-			idx += coords[a] * strides[a]
-		}
 		pred := interpPredict(c.recon, coords[d], dims[d], axisStride, idx, h, mode)
 		c.process(idx, pred)
 		// Odometer advance: axis d fastest (cache-friendlier along lines),
 		// then later axes, then earlier axes.
-		if !advanceInterp(coords, dims, steps, d) {
+		if coords[d]+steps[d] < dims[d] {
+			coords[d] += steps[d]
+			idx += dStep
+			continue
+		}
+		if !advanceInterpCarry(coords, dims, steps, d) {
 			return
+		}
+		idx = 0
+		for a := 0; a < nd; a++ {
+			idx += coords[a] * strides[a]
 		}
 	}
 }
 
-// advanceInterp increments the interp odometer. Axis d starts at h and
-// steps by its step; all other axes start at 0. Returns false when the
-// enumeration is complete.
-func advanceInterp(coords, dims, steps []int, d int) bool {
+// advanceInterpCarry handles the interp odometer's carry case: axis d has
+// run off its extent, so reset it to h and advance the next axis
+// (nd-1..0, skipping d). Returns false when the enumeration is complete.
+func advanceInterpCarry(coords, dims, steps []int, d int) bool {
 	nd := len(dims)
-	// Order of advancement: d first, then nd-1..0 skipping d.
-	if coords[d]+steps[d] < dims[d] {
-		coords[d] += steps[d]
-		return true
-	}
 	coords[d] = steps[d] / 2 // reset to h
 	for a := nd - 1; a >= 0; a-- {
 		if a == d {

@@ -1,14 +1,20 @@
-// Command benchjson regenerates the CodecShootout artifact and writes its
-// scalar outcomes as machine-readable JSON (BENCH_codecs.json), so the
-// performance trajectory of the codec subsystem — compression wall,
-// ratio, PSNR, and modelled end-to-end seconds per codec per link — is
-// tracked as a file diff rather than read off scrolling logs.
+// Command benchjson regenerates the benchmark artifacts and writes their
+// scalar outcomes as machine-readable JSON, so performance trajectories
+// are tracked as file diffs rather than read off scrolling logs:
+//
+//   - BENCH_codecs.json — the CodecShootout artifact: compression wall,
+//     ratio, PSNR, and modelled end-to-end seconds per codec per link.
+//   - BENCH_hotpath.json — the HotPath artifact: single-stream sz3 and
+//     Huffman MB/s on the overhauled entropy hot path versus the pinned
+//     pre-overhaul reference implementations, plus the speedup factors
+//     the hot-path acceptance gates on (≥2x decompress, ≥1.3x compress).
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json]
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json]
 //
-// The Makefile's bench-json target is the canonical invocation.
+// Passing an empty string for either output path skips that artifact. The
+// Makefile's bench-json target is the canonical invocation.
 package main
 
 import (
@@ -46,18 +52,13 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	shrink := fs.Int("shrink", 24, "dataset shrink factor for the shootout")
-	seed := fs.Int64("seed", 42, "experiment seed")
-	out := fs.String("out", "BENCH_codecs.json", "output path")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
+// writeArtifact runs one driver and writes its report to path.
+func writeArtifact(fn func(experiments.Scale) (*experiments.Result, error),
+	path string, shrink int, seed int64) (*experiments.Result, error) {
 	start := time.Now()
-	res, err := experiments.CodecShootout(experiments.Scale{Shrink: *shrink, Seed: *seed})
+	res, err := fn(experiments.Scale{Shrink: shrink, Seed: seed})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep := report{
 		Artifact:  res.ID,
@@ -65,8 +66,8 @@ func run(args []string) error {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		Shrink:    *shrink,
-		Seed:      *seed,
+		Shrink:    shrink,
+		Seed:      seed,
 		ElapsedMS: float64(time.Since(start).Milliseconds()),
 		Values:    res.Values,
 	}
@@ -76,13 +77,40 @@ func run(args []string) error {
 	sort.Strings(rep.Keys)
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	shrink := fs.Int("shrink", 24, "dataset shrink factor for the shootout")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	out := fs.String("out", "BENCH_codecs.json", "codec shootout output path (empty = skip)")
+	hotOut := fs.String("hotpath-out", "BENCH_hotpath.json", "entropy hot-path output path (empty = skip)")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		return err
+	if *out != "" {
+		res, err := writeArtifact(experiments.CodecShootout, *out, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (szx speedup %.1fx, szx share fast/slow %.2f/%.2f)\n",
+			*out, len(res.Values), res.Values["speedup_szx"],
+			res.Values["szx_share_fast"], res.Values["szx_share_slow"])
 	}
-	fmt.Printf("wrote %s: %d metrics (szx speedup %.1fx, szx share fast/slow %.2f/%.2f)\n",
-		*out, len(rep.Keys), res.Values["speedup_szx"],
-		res.Values["szx_share_fast"], res.Values["szx_share_slow"])
+	if *hotOut != "" {
+		res, err := writeArtifact(experiments.HotPath, *hotOut, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (sz3 decompress %.2fx, compress %.2fx vs pre-overhaul)\n",
+			*hotOut, len(res.Values), res.Values["speedup_sz3_decompress"],
+			res.Values["speedup_sz3_compress"])
+	}
 	return nil
 }
