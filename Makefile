@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-hotpath fuzz-smoke lint cover tier1 plan-smoke doc-check
+.PHONY: build test race bench bench-json bench-hotpath bench-serve fuzz-smoke lint cover tier1 plan-smoke serve-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,20 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Machine-readable benchmarks: regenerates the CodecShootout artifact
-# (wall/ratio/PSNR per codec/link → BENCH_codecs.json) and the HotPath
+# (wall/ratio/PSNR per codec/link → BENCH_codecs.json), the HotPath
 # artifact (entropy hot-path MB/s vs the pinned pre-overhaul reference →
-# BENCH_hotpath.json), so both perf trajectories are tracked as diffable
-# files.
+# BENCH_hotpath.json), and the ServeFairness artifact (multi-tenant
+# scheduler fairness/throughput/cancel latency → BENCH_serve.json), so all
+# perf trajectories are tracked as diffable files.
 bench-json:
 	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json \
-		-hotpath-out BENCH_hotpath.json
+		-hotpath-out BENCH_hotpath.json -serve-out BENCH_serve.json
+
+# Multi-tenant serve load test alone: regenerates BENCH_serve.json (Jain
+# fairness index, per-tenant and aggregate MB/s, cancel latency).
+bench-serve:
+	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
+		-serve-out BENCH_serve.json
 
 # Entropy hot-path throughput benchmarks in smoke mode: compile and run
 # each once so the tracked figures cannot rot between bench-json refreshes.
@@ -56,7 +63,23 @@ tier1:
 # (tools/doccheck).
 doc-check:
 	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
-		./internal/codec ./internal/szx
+		./internal/codec ./internal/szx ./internal/serve
+
+# Daemon round-trip smoke: start `ocelot serve`, submit a campaign over
+# HTTP and watch it to completion, submit a second and cancel it, list
+# both, then shut the daemon down.
+serve-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'kill $$pid 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ocelot ./cmd/ocelot; \
+	$$tmp/ocelot serve -addr 127.0.0.1:9177 -route 'Anvil->Bebop' -timescale 1e-2 \
+		-tenants climate:2,physics:1 & pid=$$!; \
+	sleep 1; \
+	$$tmp/ocelot submit -server http://127.0.0.1:9177 -tenant climate \
+		-fields 4 -shrink 40 -watch; \
+	$$tmp/ocelot submit -server http://127.0.0.1:9177 -tenant physics \
+		-fields 8 -shrink 24 -eb 1e-4; \
+	$$tmp/ocelot cancel -server http://127.0.0.1:9177 -id c-2; \
+	$$tmp/ocelot campaigns -server http://127.0.0.1:9177
 
 # Planner smoke: train-on-sweep + plan + adaptive campaign on small
 # synthetic fields, so the closed predict-then-transfer loop can't rot.

@@ -196,23 +196,23 @@ func BenchmarkCampaignPipelineOverlap(b *testing.B) {
 		}
 		fields = append(fields, f)
 	}
-	opts := PipelineOptions{
-		CampaignOptions: CampaignOptions{
-			RelErrorBound: 1e-3,
-			Workers:       4,
-			GroupParam:    6,
-		},
+	spec := CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         4,
+		GroupParam:      6,
 		Transport:       &SimulatedWANTransport{Link: StandardLinks()["Anvil->Bebop"], Timescale: 1},
 		TransferStreams: 2,
 	}
+	seqSpec := spec
+	seqSpec.Engine = EngineSequential
 	b.ReportAllocs()
 	var seqWall, pipeWall, overlap float64
 	for i := 0; i < b.N; i++ {
-		seq, err := RunSequentialCampaign(context.Background(), fields, opts)
+		seq, err := Run(context.Background(), fields, seqSpec)
 		if err != nil {
 			b.Fatal(err)
 		}
-		pipe, err := RunPipelinedCampaign(context.Background(), fields, opts)
+		pipe, err := Run(context.Background(), fields, spec)
 		if err != nil {
 			b.Fatal(err)
 		}

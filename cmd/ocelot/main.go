@@ -11,6 +11,11 @@
 //	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70 -codec sz3,szx
 //	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop -codec sz3,szx
 //	ocelot campaign  -pipeline -chunk-mb 0.05 -compress-workers 8 -route Anvil-\>Bebop
+//	ocelot serve     -addr :9177 -route Anvil-\>Bebop -tenants climate:2,physics:1
+//	ocelot submit    -server http://127.0.0.1:9177 -tenant climate -fields 4 -watch
+//	ocelot watch     -server http://127.0.0.1:9177 -id c-1
+//	ocelot cancel    -server http://127.0.0.1:9177 -id c-1
+//	ocelot campaigns -server http://127.0.0.1:9177
 //
 // All data files use the raw-binary + JSON-sidecar layout of
 // internal/dataio.
@@ -47,11 +52,21 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: ocelot <generate|compress|decompress|predict|plan|simulate|campaign> [flags]")
+		return errors.New("usage: ocelot <generate|compress|decompress|predict|plan|simulate|campaign|serve|submit|watch|cancel|campaigns> [flags]")
 	}
 	switch args[0] {
 	case "plan":
 		return cmdPlan(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "submit":
+		return cmdSubmit(args[1:])
+	case "watch":
+		return cmdWatch(args[1:])
+	case "cancel":
+		return cmdCancel(args[1:])
+	case "campaigns":
+		return cmdCampaigns(args[1:])
 	case "generate":
 		return cmdGenerate(args[1:])
 	case "compress":
@@ -445,13 +460,12 @@ func cmdCampaign(args []string) error {
 	} else if strings.Contains(fixedCodec, ",") {
 		return fmt.Errorf("campaign: -codec accepts a list only with -adaptive (got %q)", fixedCodec)
 	}
-	opts := core.PipelineOptions{
-		CampaignOptions: core.CampaignOptions{
-			RelErrorBound: *eb,
-			Workers:       *workers,
-			GroupParam:    *groups,
-			Codec:         fixedCodec,
-		},
+	spec := core.CampaignSpec{
+		RelErrorBound:   *eb,
+		Workers:         *workers,
+		GroupParam:      *groups,
+		Codec:           fixedCodec,
+		Engine:          core.EngineSequential,
 		TransferStreams: *streams,
 		ChunkMB:         *chunkMB,
 		CompressWorkers: *compressWorkers,
@@ -461,11 +475,10 @@ func cmdCampaign(args []string) error {
 		if !ok {
 			return fmt.Errorf("campaign: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
 		}
-		opts.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
+		spec.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
 	}
 
 	ctx := context.Background()
-	var res *core.CampaignResult
 	engine := "sequential"
 	switch {
 	case *adaptive:
@@ -479,23 +492,17 @@ func cmdCampaign(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err = core.RunPlannedCampaign(ctx, fields, core.PlanOptions{
-			PipelineOptions: opts,
-			Model:           model,
-			Planner:         planner.Options{Candidates: cands, MinPSNR: *minPSNR, Seed: *seed},
-		})
-		if err != nil {
-			return err
-		}
+		spec.Engine = core.EnginePipelined
+		spec.Adaptive = true
+		spec.Model = model
+		spec.Planner = planner.Options{Candidates: cands, MinPSNR: *minPSNR, Seed: *seed}
 	case *pipelined:
 		engine = "pipelined"
-		if res, err = core.RunPipelinedCampaign(ctx, fields, opts); err != nil {
-			return err
-		}
-	default:
-		if res, err = core.RunSequentialCampaign(ctx, fields, opts); err != nil {
-			return err
-		}
+		spec.Engine = core.EnginePipelined
+	}
+	res, err := core.Run(ctx, fields, spec)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("%s campaign [%s]: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"ocelot/internal/core"
+	"ocelot/internal/serve"
+	"ocelot/internal/wan"
+)
+
+// cmdServe runs the multi-tenant campaign daemon:
+//
+//	ocelot serve -addr :9177 -route Anvil->Bebop -timescale 1e-3 \
+//	  -tenants climate:2,physics:1 -max-running 8 -queue-depth 64
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:9177", "listen address")
+	route := fs.String("route", "Anvil->Bebop", "shared WAN link campaigns transfer over; empty = in-process")
+	timescale := fs.Float64("timescale", 1e-3, "wall seconds slept per simulated link second")
+	tenants := fs.String("tenants", "", "named tenants as name:weight pairs, e.g. climate:2,physics:1 (others get weight 1)")
+	maxPerTenant := fs.Int("max-per-tenant", 0, "max concurrently running campaigns per named tenant (0 = unlimited)")
+	maxRunning := fs.Int("max-running", 8, "max concurrently running campaigns overall")
+	queueDepth := fs.Int("queue-depth", 64, "max queued campaigns before submissions get 429")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		MaxRunning: *maxRunning,
+		QueueDepth: *queueDepth,
+	}
+	if *route != "" {
+		link, ok := wan.StandardLinks()[*route]
+		if !ok {
+			return fmt.Errorf("serve: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
+		}
+		cfg.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
+	}
+	if *tenants != "" {
+		cfg.Tenants = map[string]serve.TenantConfig{}
+		for _, pair := range strings.Split(*tenants, ",") {
+			name, weightStr, found := strings.Cut(strings.TrimSpace(pair), ":")
+			if name == "" {
+				return fmt.Errorf("serve: bad -tenants entry %q", pair)
+			}
+			weight := 1.0
+			if found {
+				w, err := strconv.ParseFloat(weightStr, 64)
+				if err != nil || w <= 0 {
+					return fmt.Errorf("serve: bad weight in -tenants entry %q", pair)
+				}
+				weight = w
+			}
+			cfg.Tenants[name] = serve.TenantConfig{Weight: weight, MaxCampaigns: *maxPerTenant}
+		}
+	}
+
+	srv := serve.NewServer(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		httpSrv.Close()
+	}()
+	fmt.Printf("ocelot serve: listening on %s (route %s, %d tenants configured)\n",
+		ln.Addr(), orDash(*route), len(cfg.Tenants))
+	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("ocelot serve: shutting down, cancelling campaigns")
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// cmdSubmit submits a campaign to a running daemon:
+//
+//	ocelot submit -server http://127.0.0.1:9177 -tenant climate -fields 4 -eb 1e-3 -watch
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:9177", "daemon base URL")
+	tenant := fs.String("tenant", "default", "submitting tenant")
+	priority := fs.Int("priority", 0, "priority within the tenant's queue (higher first)")
+	app := fs.String("app", "CESM", "application whose fields to campaign")
+	nFields := fs.Int("fields", 4, "number of fields")
+	shrink := fs.Int("shrink", 24, "divide paper dimensions by this factor")
+	seed := fs.Int64("seed", 3, "generator seed")
+	eb := fs.Float64("eb", 1e-3, "relative error bound")
+	codecName := fs.String("codec", "", "compressor (empty = sz3)")
+	workers := fs.Int("workers", 4, "compression/decompression workers")
+	groups := fs.Int64("groups", 4, "group count (by-world-size packing)")
+	engine := fs.String("engine", "pipelined", "pipelined | barrier | sequential")
+	streams := fs.Int("streams", 0, "archives in flight at once (0 = link concurrency)")
+	chunkMB := fs.Float64("chunk-mb", 0, "chunk-parallel compression granularity in raw MB (0 = monolithic)")
+	watch := fs.Bool("watch", false, "stream status until the campaign finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	req := serve.SubmitRequest{
+		Tenant:   *tenant,
+		Priority: *priority,
+		App:      *app,
+		Fields:   *nFields,
+		Shrink:   *shrink,
+		Seed:     *seed,
+		Spec: serve.SpecRequest{
+			RelErrorBound: *eb,
+			Codec:         *codecName,
+			Workers:       *workers,
+			Groups:        *groups,
+			Engine:        *engine,
+			Streams:       *streams,
+			ChunkMB:       *chunkMB,
+		},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*server+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	st, err := decodeJobStatus(resp)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("submitted %s (tenant %s, state %s)\n", st.ID, st.Tenant, st.State)
+	if *watch {
+		return watchJob(*server, st.ID)
+	}
+	return nil
+}
+
+// cmdWatch streams a campaign's live status:
+//
+//	ocelot watch -server http://127.0.0.1:9177 -id c-1
+func cmdWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:9177", "daemon base URL")
+	id := fs.String("id", "", "campaign ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return errors.New("watch: -id is required")
+	}
+	return watchJob(*server, *id)
+}
+
+// cmdCancel requests cancellation of a running or queued campaign:
+//
+//	ocelot cancel -server http://127.0.0.1:9177 -id c-1
+func cmdCancel(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:9177", "daemon base URL")
+	id := fs.String("id", "", "campaign ID (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return errors.New("cancel: -id is required")
+	}
+	resp, err := http.Post(*server+"/v1/campaigns/"+*id+"/cancel", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	st, err := decodeJobStatus(resp)
+	if err != nil {
+		return fmt.Errorf("cancel: %w", err)
+	}
+	fmt.Printf("cancel requested for %s (state %s)\n", st.ID, st.State)
+	return nil
+}
+
+// cmdCampaigns lists every campaign the daemon knows about:
+//
+//	ocelot campaigns -server http://127.0.0.1:9177
+func cmdCampaigns(args []string) error {
+	fs := flag.NewFlagSet("campaigns", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:9177", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(*server + "/v1/campaigns")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeHTTPError(resp)
+	}
+	var list []serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-12s %4s %-10s %10s %12s %12s\n",
+		"id", "tenant", "pri", "state", "queued(s)", "sent (MB)", "elapsed(s)")
+	for _, st := range list {
+		var sentMB, elapsed float64
+		if st.Campaign != nil {
+			sentMB = float64(st.Campaign.SentBytes) / 1e6
+			elapsed = st.Campaign.ElapsedSec
+		}
+		fmt.Printf("%-8s %-12s %4d %-10s %10.2f %12.2f %12.2f\n",
+			st.ID, st.Tenant, st.Priority, st.State, st.QueuedSec, sentMB, elapsed)
+	}
+	return nil
+}
+
+// watchJob streams the daemon's NDJSON watch endpoint, printing one status
+// line per snapshot until the campaign is terminal.
+func watchJob(server, id string) error {
+	resp, err := http.Get(server + "/v1/campaigns/" + id + "/watch")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeHTTPError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last serve.JobStatus
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			return fmt.Errorf("watch: bad status line: %w", err)
+		}
+		line := fmt.Sprintf("%s  %-9s", last.ID, last.State)
+		if c := last.Campaign; c != nil {
+			line += fmt.Sprintf("  %6.2fs  %2d/%d groups  %8.2f MB sent", c.ElapsedSec, c.SentGroups, c.Fields, float64(c.SentBytes)/1e6)
+			for _, s := range c.Stages {
+				if s.Name == "transfer" && s.MBps > 0 {
+					line += fmt.Sprintf("  (%.1f MB/s)", s.MBps)
+				}
+			}
+		}
+		fmt.Println(line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !last.Terminal {
+		return fmt.Errorf("watch: stream ended before %s was terminal (state %s)", id, last.State)
+	}
+	if last.State != "done" {
+		return fmt.Errorf("campaign %s finished %s: %s", id, last.State, last.Error)
+	}
+	return nil
+}
+
+// decodeJobStatus parses a JobStatus response, converting error bodies on
+// non-2xx statuses into Go errors.
+func decodeJobStatus(resp *http.Response) (serve.JobStatus, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return serve.JobStatus{}, decodeHTTPError(resp)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// decodeHTTPError turns a JSON error body into an error value.
+func decodeHTTPError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("server returned %d: %s", resp.StatusCode, body.Error)
+	}
+	return fmt.Errorf("server returned %d", resp.StatusCode)
+}

@@ -25,11 +25,12 @@ func main() {
 		}
 		fields = append(fields, f)
 	}
-	res, err := ocelot.RunCampaign(context.Background(), fields, ocelot.CampaignOptions{
+	res, err := ocelot.Run(context.Background(), fields, ocelot.CampaignSpec{
 		RelErrorBound: 1e-3,
 		Workers:       8,
 		GroupStrategy: grouping.ByWorldSize,
 		GroupParam:    4,
+		Engine:        ocelot.EngineBarrier,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -48,23 +49,37 @@ func main() {
 	// calibrated Anvil->Bebop link in real time (each group archive pays
 	// the link's per-file overhead), first with hard phase barriers and
 	// then pipelined.
-	popts := ocelot.PipelineOptions{
-		CampaignOptions: ocelot.CampaignOptions{
-			RelErrorBound: 1e-3,
-			Workers:       8,
-			GroupParam:    4,
-		},
+	spec := ocelot.CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         8,
+		GroupParam:      4,
 		Transport:       &ocelot.SimulatedWANTransport{Link: links["Anvil->Bebop"], Timescale: 1},
 		TransferStreams: 2,
 	}
-	seq, err := ocelot.RunSequentialCampaign(context.Background(), fields, popts)
+	seqSpec := spec
+	seqSpec.Engine = ocelot.EngineSequential
+	seq, err := ocelot.Run(context.Background(), fields, seqSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	streamed, err := ocelot.RunPipelinedCampaign(context.Background(), fields, popts)
+	// The pipelined leg runs through the re-entrant handle API: Submit
+	// returns immediately, Status is watchable while bytes move (the serve
+	// daemon streams exactly these snapshots), and Wait joins the result.
+	handle, err := ocelot.Submit(context.Background(), fields, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	mid := handle.Status()
+	for mid.SentGroups == 0 && !mid.State.Terminal() {
+		time.Sleep(time.Millisecond)
+		mid = handle.Status()
+	}
+	streamed, err := handle.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive handle snapshot mid-campaign: state=%s, %d groups already shipped\n",
+		mid.State, mid.SentGroups)
 	fmt.Printf("\nstreaming engine over simulated Anvil->Bebop (real-time pacing):\n")
 	fmt.Printf("  sequential phases: wall %.3fs\n", seq.WallSec)
 	fmt.Printf("  pipelined stages:  wall %.3fs (%.3fs of stage time hidden by overlap)\n",
@@ -82,12 +97,10 @@ func main() {
 	// machines — and the decompressed output is bit-identical either way
 	// (the chunk plan depends only on shape and chunk size).
 	chunkLeg := func(workers int) *ocelot.CampaignResult {
-		r, err := ocelot.RunPipelinedCampaign(context.Background(), fields, ocelot.PipelineOptions{
-			CampaignOptions: ocelot.CampaignOptions{
-				RelErrorBound: 1e-3,
-				Workers:       8,
-				GroupParam:    4,
-			},
+		r, err := ocelot.Run(context.Background(), fields, ocelot.CampaignSpec{
+			RelErrorBound:   1e-3,
+			Workers:         8,
+			GroupParam:      4,
 			Transport:       &ocelot.SimulatedWANTransport{Link: links["Anvil->Bebop"], Timescale: 1},
 			ChunkMB:         float64(fields[0].RawBytes()) / 4 / 1e6,
 			CompressWorkers: workers,
@@ -128,15 +141,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	aopts := popts
+	aspec := spec
 	// The plan assumes the link's full concurrency is offered; 0 lets the
 	// engine default the stream count from the transport's hint.
-	aopts.TransferStreams = 0
-	adaptive, err := ocelot.RunPlannedCampaign(context.Background(), fields, ocelot.PlanOptions{
-		PipelineOptions: aopts,
-		Model:           model,
-		Planner:         ocelot.PlannerOptions{MinPSNR: 70},
-	})
+	aspec.TransferStreams = 0
+	aspec.Adaptive = true
+	aspec.Model = model
+	aspec.Planner = ocelot.PlannerOptions{MinPSNR: 70}
+	adaptive, err := ocelot.Run(context.Background(), fields, aspec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,10 @@ import (
 
 // CampaignOptions configures a real (in-process) compress-group-decompress
 // campaign over actual data.
+//
+// Deprecated: new code should build a CampaignSpec and call Run or Submit;
+// CampaignOptions survives as the compatibility surface for the original
+// RunCampaign API (and as the engine-internal projection of a spec).
 type CampaignOptions struct {
 	// RelErrorBound is applied relative to each field's value range.
 	RelErrorBound float64
@@ -97,17 +101,33 @@ type CampaignResult struct {
 	Plan       *planner.Plan // the full per-field decision table
 }
 
+// Spec projects the legacy options onto the unified CampaignSpec.
+func (o CampaignOptions) Spec() CampaignSpec {
+	return CampaignSpec{
+		RelErrorBound: o.RelErrorBound,
+		Predictor:     o.Predictor,
+		Codec:         o.Codec,
+		Workers:       o.Workers,
+		GroupStrategy: o.GroupStrategy,
+		GroupParam:    o.GroupParam,
+		Now:           o.Now,
+	}
+}
+
 // RunCampaign compresses all fields in parallel with the real SZ pipeline,
 // packs the streams into groups, unpacks and decompresses them, and
 // verifies every value honours the error bound. It is the actual data path
 // that the simulation models at scale. Execution runs on the streaming
 // engine in barrier mode: packing waits for every stream so groups follow
-// grouping.Plan exactly; use RunPipelinedCampaign to overlap the stages.
+// grouping.Plan exactly.
+//
+// Deprecated: equivalent to Run with Engine: EngineBarrier and
+// TransferStreams: 1; new code should use Run (or Submit for a handle).
 func RunCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOptions) (*CampaignResult, error) {
-	return runCampaign(ctx, fields, opts, campaignMode{
-		transport:       NopTransport{},
-		transferStreams: 1,
-	})
+	spec := opts.Spec()
+	spec.Engine = EngineBarrier
+	spec.TransferStreams = 1
+	return Run(ctx, fields, spec)
 }
 
 // Orchestrator runs campaigns through the funcX-style fabric: compression

@@ -23,6 +23,10 @@ import (
 type StageTiming = pipeline.StageStats
 
 // PipelineOptions configures the streaming campaign engine.
+//
+// Deprecated: new code should build a CampaignSpec and call Run or Submit;
+// PipelineOptions survives as the compatibility surface for the original
+// RunPipelinedCampaign / RunSequentialCampaign API.
 type PipelineOptions struct {
 	CampaignOptions
 	// Transport ships packed archives; nil means NopTransport (in-process).
@@ -74,6 +78,21 @@ type campaignMode struct {
 	chunkBytes      int64
 	compressWorkers int
 	endpoint        faas.EndpointConfig
+	// weight > 0 ships archives via SendWeighted on weighted transports, so
+	// a multi-tenant scheduler can give campaigns proportional link shares.
+	weight float64
+	// observe, when set, receives the run's pipeline group right after
+	// creation — the campaign handle uses it to serve live Stats snapshots.
+	observe func(*pipeline.Group)
+	// progress, when set, receives live transfer counters for Status.
+	progress *campaignProgress
+}
+
+// campaignProgress carries the live mid-run counters a Campaign handle's
+// Status surfaces; the stage workers update it atomically.
+type campaignProgress struct {
+	sentBytes  atomic.Int64 // archive bytes accepted by the transport
+	sentGroups atomic.Int64 // archives shipped so far
 }
 
 // chunkMode derives the chunk fan-out portion of a campaignMode from the
@@ -101,6 +120,19 @@ type fieldSetting struct {
 	codec     string // registry name; "" inherits the campaign codec
 }
 
+// Spec projects the legacy pipeline options onto the unified CampaignSpec
+// (Engine left at the zero value, EnginePipelined).
+func (o PipelineOptions) Spec() CampaignSpec {
+	spec := o.CampaignOptions.Spec()
+	spec.Transport = o.Transport
+	spec.TransferStreams = o.TransferStreams
+	spec.StageBuffer = o.StageBuffer
+	spec.ChunkMB = o.ChunkMB
+	spec.CompressWorkers = o.CompressWorkers
+	spec.ChunkEndpoint = o.ChunkEndpoint
+	return spec
+}
+
 // RunPipelinedCampaign is the streaming version of RunCampaign: fields are
 // compressed, packed into group archives, shipped over the transport, and
 // decompressed/verified by concurrently running stages connected with
@@ -108,52 +140,28 @@ type fieldSetting struct {
 // fields are still compressing, hiding compression cost inside transfer
 // time exactly as the paper's end-to-end pipeline does. The result carries
 // per-stage timings and the measured overlap.
+//
+// Deprecated: equivalent to Run with Engine: EnginePipelined; new code
+// should use Run (or Submit for a handle).
 func RunPipelinedCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
-	transport, streams := resolveTransport(opts)
-	chunkBytes, cw, ep := opts.chunkMode()
-	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
-		pipelined:       true,
-		transport:       transport,
-		transferStreams: streams,
-		buffer:          opts.StageBuffer,
-		chunkBytes:      chunkBytes,
-		compressWorkers: cw,
-		endpoint:        ep,
-	})
-}
-
-// resolveTransport fills the transport and stream-count defaults shared by
-// every campaign entry point.
-func resolveTransport(opts PipelineOptions) (Transport, int) {
-	transport := opts.Transport
-	if transport == nil {
-		transport = NopTransport{}
-	}
-	streams := opts.TransferStreams
-	if streams <= 0 {
-		streams = defaultStreams(transport)
-	}
-	return transport, streams
+	spec := opts.Spec()
+	spec.Engine = EnginePipelined
+	return Run(ctx, fields, spec)
 }
 
 // RunSequentialCampaign executes the same campaign with hard barriers
 // between every phase — compress all, pack all, transfer all, decompress
 // all — the pre-pipelining behaviour. Each phase still runs its internal
 // parallelism; only the phases are serialized. It exists as the honest
-// baseline RunPipelinedCampaign is benchmarked against on the same
+// baseline the pipelined engine is benchmarked against on the same
 // transport.
+//
+// Deprecated: equivalent to Run with Engine: EngineSequential; new code
+// should use Run (or Submit for a handle).
 func RunSequentialCampaign(ctx context.Context, fields []*datagen.Field, opts PipelineOptions) (*CampaignResult, error) {
-	transport, streams := resolveTransport(opts)
-	chunkBytes, cw, ep := opts.chunkMode()
-	return runCampaign(ctx, fields, opts.CampaignOptions, campaignMode{
-		sequential:      true,
-		transport:       transport,
-		transferStreams: streams,
-		buffer:          opts.StageBuffer,
-		chunkBytes:      chunkBytes,
-		compressWorkers: cw,
-		endpoint:        ep,
-	})
+	spec := opts.Spec()
+	spec.Engine = EngineSequential
+	return Run(ctx, fields, spec)
 }
 
 // Items flowing between stages.
@@ -307,6 +315,9 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 
 	wallStart := now()
 	g := pipeline.NewGroupWithClock(ctx, now)
+	if mode.observe != nil {
+		mode.observe(g)
+	}
 
 	idxs := make([]int, len(fields))
 	for i := range idxs {
@@ -357,17 +368,30 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 
 	packed := packStage(g, compress, ps, mode, strategy, param, len(fields), buffer)
 
+	// Weighted transports carry the campaign's fair-share weight on every
+	// send, so concurrent campaigns from different tenants split a shared
+	// link in proportion to their weights instead of equally.
+	sendArchive := mode.transport.Send
+	if wt, ok := mode.transport.(WeightedTransport); ok && mode.weight > 0 {
+		sendArchive = func(ctx context.Context, name string, data []byte) (float64, error) {
+			return wt.SendWeighted(ctx, name, data, mode.weight)
+		}
+	}
 	var linkMu sync.Mutex
 	var linkSec float64
 	sent := pipeline.Stage(g, pipeline.Config{Name: "transfer", Workers: mode.transferStreams, Buffer: buffer}, packed,
 		func(ctx context.Context, pg packedGroup) (sentGroup, error) {
-			sec, err := mode.transport.Send(ctx, fmt.Sprintf("group-%04d.ocgr", pg.id), pg.archive)
+			sec, err := sendArchive(ctx, fmt.Sprintf("group-%04d.ocgr", pg.id), pg.archive)
 			if err != nil {
 				return sentGroup{}, err
 			}
 			linkMu.Lock()
 			linkSec += sec
 			linkMu.Unlock()
+			if mode.progress != nil {
+				mode.progress.sentBytes.Add(int64(len(pg.archive)))
+				mode.progress.sentGroups.Add(1)
+			}
 			return sentGroup{packedGroup: pg, linkSec: sec}, nil
 		})
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"time"
 
 	"ocelot/internal/datagen"
 	"ocelot/internal/planner"
@@ -16,6 +15,10 @@ import (
 // full concurrency; leave TransferStreams at 0 (the default resolves it
 // from the transport's hint) unless you want to deliberately starve the
 // link.
+//
+// Deprecated: new code should build a CampaignSpec with Adaptive: true and
+// call Run or Submit; PlanOptions survives as the compatibility surface
+// for the original RunPlannedCampaign API.
 type PlanOptions struct {
 	PipelineOptions
 	// Model is a trained quality model. nil degenerates gracefully: every
@@ -27,39 +30,23 @@ type PlanOptions struct {
 	Planner planner.Options
 }
 
-// resolvedPlanner fills PlanOptions.Planner defaults from the campaign
-// context so callers only state what they want to override: the planner's
-// assumed parallelism follows the fan-out endpoint's worker count when
-// chunking is on, and the chunk granularity follows ChunkMB, so the plan
-// predicts the campaign that will actually run.
-func (o PlanOptions) resolvedPlanner() planner.Options {
-	p := o.Planner
-	if p.Workers <= 0 {
-		if o.ChunkMB > 0 && o.CompressWorkers > 0 {
-			p.Workers = o.CompressWorkers
-		} else {
-			p.Workers = o.Workers
-		}
-	}
-	if p.ChunkBytes == 0 && o.ChunkMB > 0 {
-		p.ChunkBytes = int64(o.ChunkMB * 1e6)
-	}
-	if p.ChunkDispatchSec == 0 && o.ChunkMB > 0 {
-		p.ChunkDispatchSec = o.ChunkEndpoint.WarmStart.Seconds()
-	}
-	if p.Link == nil {
-		if st, ok := o.Transport.(*SimulatedWANTransport); ok {
-			p.Link = st.Link
-		}
-	}
-	return p
+// Spec projects the legacy plan options onto the unified CampaignSpec
+// (Adaptive set, Engine left at EnginePipelined).
+func (o PlanOptions) Spec() CampaignSpec {
+	spec := o.PipelineOptions.Spec()
+	spec.Adaptive = true
+	spec.Model = o.Model
+	spec.Planner = o.Planner
+	return spec
 }
 
 // PlanCampaign runs only the plan stage: the cheap sampling pass over every
 // field, quality predictions across the candidate grid, and the grouping
 // decision. The returned plan is what RunPlannedCampaign would execute.
+//
+// Deprecated: use PlanSpec.
 func PlanCampaign(fields []*datagen.Field, opts PlanOptions) (*planner.Plan, error) {
-	return planner.Build(fields, opts.Model, opts.resolvedPlanner())
+	return PlanSpec(fields, opts.Spec())
 }
 
 // RunPlannedCampaign closes the paper's predict-then-transfer loop: it
@@ -67,55 +54,9 @@ func PlanCampaign(fields []*datagen.Field, opts PlanOptions) (*planner.Plan, err
 // plan's per-field configurations and grouping, measuring reconstruction
 // PSNR so the result reports predicted vs. actual ratio, stage seconds,
 // and quality.
+//
+// Deprecated: equivalent to Run with Adaptive: true; new code should use
+// Run (or Submit for a handle).
 func RunPlannedCampaign(ctx context.Context, fields []*datagen.Field, opts PlanOptions) (*CampaignResult, error) {
-	now := opts.Now
-	if now == nil {
-		now = time.Now
-	}
-	planStart := now()
-	plan, err := PlanCampaign(fields, opts)
-	if err != nil {
-		return nil, err
-	}
-	planSec := now().Sub(planStart).Seconds()
-
-	transport, streams := resolveTransport(opts.PipelineOptions)
-	copts := opts.CampaignOptions
-	copts.GroupStrategy = plan.GroupStrategy
-	copts.GroupParam = plan.GroupParam
-
-	settings := make([]fieldSetting, len(plan.Fields))
-	for i, fp := range plan.Fields {
-		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor, codec: fp.Codec}
-	}
-	chunkBytes, cw, ep := opts.PipelineOptions.chunkMode()
-	res, err := runCampaign(ctx, fields, copts, campaignMode{
-		pipelined:       true,
-		transport:       transport,
-		transferStreams: streams,
-		buffer:          opts.StageBuffer,
-		perField:        settings,
-		measurePSNR:     true,
-		chunkBytes:      chunkBytes,
-		compressWorkers: cw,
-		endpoint:        ep,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Planned = true
-	res.PlanSec = planSec
-	res.Plan = plan
-	res.PredRatio = plan.PredRatio
-	res.PredCompressSec = plan.PredCompressSec
-	res.PredTransferSec = plan.PredTransferSec
-	res.PredWallSec = plan.PredWallSec
-	if link := opts.resolvedPlanner().Link; link != nil && len(res.GroupBytes) > 0 {
-		est, err := link.Estimate(res.GroupBytes, opts.Planner.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.LinkEstSec = est.Seconds
-	}
-	return res, nil
+	return Run(ctx, fields, opts.Spec())
 }

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"ocelot/internal/codec"
+	"ocelot/internal/datagen"
+	"ocelot/internal/faas"
+	"ocelot/internal/grouping"
+	"ocelot/internal/planner"
+	"ocelot/internal/quality"
+	"ocelot/internal/sz"
+)
+
+// Engine selects how a campaign's stages execute.
+type Engine uint8
+
+const (
+	// EnginePipelined streams compress → pack → transfer → decompress
+	// through bounded channels, so a packed group ships while later fields
+	// are still compressing (the default).
+	EnginePipelined Engine = iota
+	// EngineBarrier packs only after every field has compressed, so groups
+	// follow grouping.Plan exactly — the classic RunCampaign semantics.
+	EngineBarrier
+	// EngineSequential adds a hard barrier between the transfer and
+	// decompress phases too: the pre-pipelining baseline overlap
+	// benchmarks compare against.
+	EngineSequential
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EnginePipelined:
+		return "pipelined"
+	case EngineBarrier:
+		return "barrier"
+	case EngineSequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine resolves an engine by name ("" selects pipelined).
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "pipelined":
+		return EnginePipelined, nil
+	case "barrier":
+		return EngineBarrier, nil
+	case "sequential":
+		return EngineSequential, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q (have: pipelined, barrier, sequential)", name)
+	}
+}
+
+// CampaignSpec is the single description of a campaign: what to compress
+// (bounds, predictor, codec), how to pack it, which engine executes the
+// stages, which transport ships the archives, how compression fans out,
+// and whether the predictive planner chooses per-field configurations
+// first. It unifies the historical CampaignOptions / PipelineOptions /
+// PlanOptions triple — those remain as deprecated wrappers — and is what
+// Submit, Run, and the serve daemon's scheduler all consume.
+//
+// The zero value is not runnable: RelErrorBound must be positive unless
+// Adaptive is set (the planner then assigns per-field bounds).
+type CampaignSpec struct {
+	// RelErrorBound is applied relative to each field's value range.
+	// Adaptive campaigns may leave it zero: the plan assigns bounds.
+	RelErrorBound float64
+	// Predictor for the SZ pipeline; 0 = interp. Ignored by codecs without
+	// a predictor stage.
+	Predictor sz.Predictor
+	// Codec names the registered compressor every field uses ("" = sz3).
+	// Adaptive campaigns override it per field with the plan's decisions.
+	Codec string
+	// Workers bounds compression/decompression parallelism; ≤ 0 = 4.
+	Workers int
+
+	// GroupStrategy and GroupParam control packing; 0 = ByWorldSize with
+	// world = Workers.
+	GroupStrategy grouping.Strategy
+	GroupParam    int64
+
+	// Engine selects barrier, pipelined, or sequential stage execution.
+	Engine Engine
+	// Transport ships packed archives; nil means NopTransport (in-process).
+	Transport Transport
+	// TransferStreams is the number of goroutines offering archives to the
+	// transport at once; ≤ 0 defaults to the transport's own hint (a
+	// simulated WAN hints its link's concurrency), else 4.
+	TransferStreams int
+	// StageBuffer is the capacity of the channels between stages; ≤ 0
+	// means the worker count.
+	StageBuffer int
+	// TransportWeight is the campaign's fair-share weight on transports
+	// implementing WeightedTransport (≤ 0 = unweighted Send). The serve
+	// scheduler sets it to the owning tenant's weight so concurrent
+	// campaigns split a shared link proportionally.
+	TransportWeight float64
+
+	// ChunkMB, when > 0, enables chunk-parallel compression over an
+	// in-process faas endpoint (see PipelineOptions.ChunkMB).
+	ChunkMB float64
+	// CompressWorkers is the fan-out endpoint's worker count; ≤ 0 defaults
+	// to Workers.
+	CompressWorkers int
+	// ChunkEndpoint tunes the deployed fan-out endpoint; its Workers field
+	// is overridden by CompressWorkers. Ignored when ChunkMB ≤ 0.
+	ChunkEndpoint faas.EndpointConfig
+
+	// Adaptive runs the predictive planner first: per-field bounds,
+	// predictors, codecs, and the grouping knob come from the plan, and
+	// the result reports predicted vs. actual.
+	Adaptive bool
+	// Model is the trained quality model adaptive campaigns predict with.
+	// nil degenerates gracefully to the most conservative candidate.
+	Model *quality.Model
+	// Planner tunes the adaptive decision pass; Link and Workers default
+	// from the campaign context when unset.
+	Planner planner.Options
+
+	// Now injects a clock for tests; nil = time.Now.
+	Now func() time.Time
+}
+
+// Validate fast-fails the spec errors a daemon wants to reject at submit
+// time (empty codec names resolve; unknown codecs, missing bounds, and
+// unknown engines do not wait until mid-pipeline).
+func (s CampaignSpec) Validate() error {
+	if s.RelErrorBound <= 0 && !s.Adaptive {
+		return errors.New("core: relative error bound must be positive")
+	}
+	if _, err := codec.Normalize(s.Codec); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if s.Engine > EngineSequential {
+		return fmt.Errorf("core: unknown engine %v", s.Engine)
+	}
+	return nil
+}
+
+// legacyOptions projects the spec onto the engine-internal option struct.
+func (s CampaignSpec) legacyOptions() CampaignOptions {
+	return CampaignOptions{
+		RelErrorBound: s.RelErrorBound,
+		Predictor:     s.Predictor,
+		Codec:         s.Codec,
+		Workers:       s.Workers,
+		GroupStrategy: s.GroupStrategy,
+		GroupParam:    s.GroupParam,
+		Now:           s.Now,
+	}
+}
+
+// chunkMode derives the chunk fan-out portion of a campaignMode.
+func (s CampaignSpec) chunkMode() (chunkBytes int64, workers int, ep faas.EndpointConfig) {
+	if s.ChunkMB <= 0 {
+		return 0, 0, faas.EndpointConfig{}
+	}
+	workers = s.CompressWorkers
+	if workers <= 0 {
+		workers = s.Workers
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	ep = s.ChunkEndpoint
+	ep.Workers = workers
+	return int64(s.ChunkMB * 1e6), workers, ep
+}
+
+// resolveTransport fills the transport and stream-count defaults.
+func (s CampaignSpec) resolveTransport() (Transport, int) {
+	transport := s.Transport
+	if transport == nil {
+		transport = NopTransport{}
+	}
+	streams := s.TransferStreams
+	if streams <= 0 {
+		streams = defaultStreams(transport)
+	}
+	return transport, streams
+}
+
+// mode assembles the engine-internal campaignMode for this spec.
+func (s CampaignSpec) mode() campaignMode {
+	transport, streams := s.resolveTransport()
+	chunkBytes, cw, ep := s.chunkMode()
+	return campaignMode{
+		pipelined:       s.Engine == EnginePipelined,
+		sequential:      s.Engine == EngineSequential,
+		transport:       transport,
+		transferStreams: streams,
+		buffer:          s.StageBuffer,
+		chunkBytes:      chunkBytes,
+		compressWorkers: cw,
+		endpoint:        ep,
+		weight:          s.TransportWeight,
+	}
+}
+
+// resolvedPlanner fills Planner defaults from the campaign context: the
+// assumed parallelism follows the fan-out endpoint when chunking is on,
+// the chunk granularity follows ChunkMB, and the link defaults to the
+// simulated transport's, so the plan predicts the campaign that will
+// actually run.
+func (s CampaignSpec) resolvedPlanner() planner.Options {
+	p := s.Planner
+	if p.Workers <= 0 {
+		if s.ChunkMB > 0 && s.CompressWorkers > 0 {
+			p.Workers = s.CompressWorkers
+		} else {
+			p.Workers = s.Workers
+		}
+	}
+	if p.ChunkBytes == 0 && s.ChunkMB > 0 {
+		p.ChunkBytes = int64(s.ChunkMB * 1e6)
+	}
+	if p.ChunkDispatchSec == 0 && s.ChunkMB > 0 {
+		p.ChunkDispatchSec = s.ChunkEndpoint.WarmStart.Seconds()
+	}
+	if p.Link == nil {
+		if st, ok := s.Transport.(*SimulatedWANTransport); ok {
+			p.Link = st.Link
+		}
+	}
+	return p
+}
+
+// PlanSpec runs only the plan stage of an adaptive spec: the cheap
+// sampling pass over every field, quality predictions across the
+// candidate grid, and the grouping decision. The returned plan is what an
+// Adaptive Submit/Run would execute.
+func PlanSpec(fields []*datagen.Field, spec CampaignSpec) (*planner.Plan, error) {
+	return planner.Build(fields, spec.Model, spec.resolvedPlanner())
+}
+
+// runSpec executes one campaign end to end: the optional adaptive plan
+// pass, then the shared stage graph. observe/progress/planning feed the
+// Campaign handle's live status when the run came through Submit.
+func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
+	mode campaignMode, planning func()) (*CampaignResult, error) {
+	opts := spec.legacyOptions()
+	if !spec.Adaptive {
+		return runCampaign(ctx, fields, opts, mode)
+	}
+
+	now := spec.Now
+	if now == nil {
+		now = time.Now
+	}
+	if planning != nil {
+		planning()
+	}
+	planStart := now()
+	plan, err := PlanSpec(fields, spec)
+	if err != nil {
+		return nil, err
+	}
+	planSec := now().Sub(planStart).Seconds()
+	if err := ctx.Err(); err != nil {
+		// A campaign cancelled during its plan pass must not start moving
+		// bytes.
+		return nil, err
+	}
+
+	opts.GroupStrategy = plan.GroupStrategy
+	opts.GroupParam = plan.GroupParam
+	settings := make([]fieldSetting, len(plan.Fields))
+	for i, fp := range plan.Fields {
+		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor, codec: fp.Codec}
+	}
+	mode.perField = settings
+	mode.measurePSNR = true
+
+	res, err := runCampaign(ctx, fields, opts, mode)
+	if err != nil {
+		return nil, err
+	}
+	res.Planned = true
+	res.PlanSec = planSec
+	res.Plan = plan
+	res.PredRatio = plan.PredRatio
+	res.PredCompressSec = plan.PredCompressSec
+	res.PredTransferSec = plan.PredTransferSec
+	res.PredWallSec = plan.PredWallSec
+	if link := spec.resolvedPlanner().Link; link != nil && len(res.GroupBytes) > 0 {
+		est, err := link.Estimate(res.GroupBytes, spec.Planner.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.LinkEstSec = est.Seconds
+	}
+	return res, nil
+}
+
+// Run executes a campaign described by spec and blocks until it finishes
+// — the convenience wrapper over Submit + Wait that every one-shot caller
+// (CLI, examples, benchmarks) uses. Cancellation via ctx unwinds the
+// stages promptly, including mid-send on simulated WAN transports.
+func Run(ctx context.Context, fields []*datagen.Field, spec CampaignSpec) (*CampaignResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return runSpec(ctx, fields, spec, spec.mode(), nil)
+}

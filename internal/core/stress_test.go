@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ocelot/internal/wan"
+)
+
+// TestSubmitStressSharedTransport is the multi-tenancy soak for the
+// re-entrant campaign API: well over a hundred campaigns are submitted
+// concurrently onto ONE shared SimulatedWANTransport, a quarter of them
+// cancelled mid-flight. Run under -race this exercises every handle
+// transition and the transport's admission accounting at once. Three
+// invariants must hold: no campaign hangs (every handle reaches a
+// terminal state), cancellation is honoured (cancelled handles settle
+// as canceled or done, never failed), and the shared link never moves
+// bytes faster than its simulated bandwidth no matter how many
+// campaigns pile onto it.
+func TestSubmitStressSharedTransport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		campaigns = 120
+		bwMBps    = 50.0
+		scale     = 1.0 // wall seconds per simulated second
+	)
+	fields := pipelineFields(t, 2, 96) // tiny, shared read-only by all campaigns
+	tr := &SimulatedWANTransport{
+		Link:      &wan.Link{Name: "stress", BandwidthMBps: bwMBps, Concurrency: 4},
+		Timescale: scale,
+	}
+
+	handles := make([]*Campaign, campaigns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < campaigns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := Submit(context.Background(), fields, CampaignSpec{
+				RelErrorBound:   1e-3,
+				Workers:         1,
+				GroupParam:      2,
+				Transport:       tr,
+				TransferStreams: 1,
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			handles[i] = h
+			// Cancel every fourth campaign after a short, staggered
+			// delay so cancellation lands across all stages: some
+			// while queued for the link, some mid-send, some after.
+			if i%4 == 0 {
+				time.Sleep(time.Duration(i) * 100 * time.Microsecond)
+				h.Cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	waitCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var totalSent int64
+	var done, canceled int
+	for i, h := range handles {
+		if h == nil {
+			continue
+		}
+		if _, err := h.Wait(waitCtx); err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("campaign %d: %v", i, err)
+		}
+		st := h.Status()
+		if !st.State.Terminal() {
+			t.Fatalf("campaign %d not terminal after Wait: %s", i, st.State)
+		}
+		totalSent += st.SentBytes
+		switch st.State {
+		case CampaignDone:
+			done++
+			if st.SentBytes == 0 {
+				t.Errorf("campaign %d done with no bytes sent", i)
+			}
+		case CampaignCanceled:
+			canceled++
+		default:
+			t.Errorf("campaign %d finished %s: %s", i, st.State, st.Error)
+		}
+	}
+	wallSec := time.Since(start).Seconds()
+
+	// A cancelled campaign may still have won its race and completed;
+	// what may never happen is a failure, or everything being cancelled.
+	if done < campaigns/2 {
+		t.Errorf("only %d/%d campaigns completed", done, campaigns)
+	}
+	t.Logf("%d done, %d canceled, %.2f MB sent in %.2fs wall", done, canceled, float64(totalSent)/1e6, wallSec)
+
+	// Shared-link conservation: aggregate simulated throughput across
+	// every concurrent campaign must stay within the link's bandwidth.
+	// Sleeps only ever run long, so any excess means pacing is broken.
+	simSec := wallSec / scale
+	if throughput := float64(totalSent) / 1e6 / simSec; throughput > bwMBps*1.02 {
+		t.Errorf("aggregate simulated throughput %.1f MB/s exceeds link bandwidth %.0f MB/s",
+			throughput, bwMBps)
+	}
+}

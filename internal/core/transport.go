@@ -22,6 +22,19 @@ type Transport interface {
 	Send(ctx context.Context, name string, data []byte) (seconds float64, err error)
 }
 
+// WeightedTransport is a Transport whose in-flight sends share the
+// underlying link in proportion to a per-send weight instead of equally.
+// The multi-tenant scheduler (internal/serve) uses it to give each
+// tenant's campaigns a weighted-fair share of a shared link: two tenants
+// with weights 2 and 1 sending concurrently see a 2:1 bandwidth split.
+// Send is equivalent to SendWeighted with weight 1.
+type WeightedTransport interface {
+	Transport
+	// SendWeighted ships one archive with the given fair-share weight
+	// (values ≤ 0 are treated as 1).
+	SendWeighted(ctx context.Context, name string, data []byte, weight float64) (seconds float64, err error)
+}
+
 // streamHinter is implemented by transports that know how many archives
 // the underlying link can usefully keep in flight; runCampaign uses it to
 // default PipelineOptions.TransferStreams instead of picking a constant
@@ -61,13 +74,15 @@ func (NopTransport) Send(ctx context.Context, name string, data []byte) (float64
 //
 // Bandwidth-sharing semantics: the link admits at most Link.Concurrency
 // sends at once — further concurrent Send calls queue until a channel
-// frees — and the sends in flight share Link.BandwidthMBps equally, with
-// every send's pace recomputed whenever one starts or finishes. Aggregate
-// simulated throughput therefore never exceeds the link's bandwidth, no
-// matter how many goroutines (PipelineOptions.TransferStreams) call Send
-// concurrently: extra streams beyond the link's concurrency only deepen
-// the queue. A lone send gets the full link, matching wan.Link.Estimate's
-// treatment of a batch smaller than the channel count.
+// frees — and the sends in flight share Link.BandwidthMBps in proportion
+// to their weights (Send uses weight 1, so plain sends share equally),
+// with every send's pace recomputed whenever one starts or finishes.
+// Aggregate simulated throughput therefore never exceeds the link's
+// bandwidth, no matter how many goroutines
+// (PipelineOptions.TransferStreams) call Send concurrently: extra streams
+// beyond the link's concurrency only deepen the queue. A lone send gets
+// the full link, matching wan.Link.Estimate's treatment of a batch
+// smaller than the channel count.
 //
 // A SimulatedWANTransport carries shared pacing state and must not be
 // copied after first use; campaigns pass it by pointer.
@@ -86,7 +101,8 @@ type SimulatedWANTransport struct {
 
 	mu     sync.Mutex
 	active int           // sends currently admitted to the link
-	change chan struct{} // closed and replaced whenever active changes
+	weight float64       // summed fair-share weight of admitted sends
+	change chan struct{} // closed and replaced whenever membership changes
 }
 
 // Name implements Transport.
@@ -114,8 +130,9 @@ func (t *SimulatedWANTransport) bump() {
 	t.change = make(chan struct{})
 }
 
-// admit blocks until a link channel is free, honouring ctx.
-func (t *SimulatedWANTransport) admit(ctx context.Context) error {
+// admit blocks until a link channel is free, honouring ctx, then joins
+// the link with fair-share weight w.
+func (t *SimulatedWANTransport) admit(ctx context.Context, w float64) error {
 	t.mu.Lock()
 	if t.change == nil {
 		t.change = make(chan struct{})
@@ -131,14 +148,20 @@ func (t *SimulatedWANTransport) admit(ctx context.Context) error {
 		t.mu.Lock()
 	}
 	t.active++
+	t.weight += w
 	t.bump()
 	t.mu.Unlock()
 	return nil
 }
 
-func (t *SimulatedWANTransport) release() {
+func (t *SimulatedWANTransport) release(w float64) {
 	t.mu.Lock()
 	t.active--
+	t.weight -= w
+	if t.active == 0 {
+		// Reset so float subtraction error cannot accumulate across sends.
+		t.weight = 0
+	}
 	t.bump()
 	t.mu.Unlock()
 }
@@ -149,8 +172,21 @@ func (t *SimulatedWANTransport) release() {
 // link. The returned seconds are the simulated link time this send took
 // (queueing excluded: a queued send is not using the link).
 func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []byte) (float64, error) {
+	return t.SendWeighted(ctx, name, data, 1)
+}
+
+// SendWeighted implements WeightedTransport: the send's pace is the link
+// bandwidth times weight / (summed weight of all in-flight sends), so
+// concurrent sends split the link in proportion to their weights. Cancel
+// latency is bounded by the select granularity of one pacing quantum: the
+// pacing loop always has ctx.Done in its select, so a cancelled send
+// returns without finishing its current timer.
+func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, data []byte, weight float64) (float64, error) {
 	if t.Link == nil {
 		return 0, errors.New("core: simulated transport needs a link")
+	}
+	if weight <= 0 {
+		weight = 1
 	}
 	if err := t.Link.Validate(); err != nil {
 		return 0, err
@@ -166,10 +202,10 @@ func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []by
 		return t.Link.PerFileOverheadSec + float64(len(data))/1e6/t.Link.BandwidthMBps, ctx.Err()
 	}
 
-	if err := t.admit(ctx); err != nil {
+	if err := t.admit(ctx, weight); err != nil {
 		return 0, err
 	}
-	defer t.release()
+	defer t.release(weight)
 
 	simSec := t.Link.PerFileOverheadSec
 	if err := sleepScaled(ctx, t.Link.PerFileOverheadSec, scale); err != nil {
@@ -178,13 +214,13 @@ func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []by
 	remainingMB := float64(len(data)) / 1e6
 	for remainingMB > 1e-12 {
 		t.mu.Lock()
-		sharing := t.active
+		share := weight / t.weight
 		ch := t.change
 		t.mu.Unlock()
-		if sharing < 1 {
-			sharing = 1
+		if share > 1 || share <= 0 {
+			share = 1
 		}
-		rate := t.Link.BandwidthMBps / float64(sharing) // MB per simulated second
+		rate := t.Link.BandwidthMBps * share // MB per simulated second
 		need := remainingMB / rate
 		start := time.Now()
 		timer := time.NewTimer(time.Duration(need * scale * float64(time.Second)))

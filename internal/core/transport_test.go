@@ -125,6 +125,79 @@ func TestSimulatedTransportCancellation(t *testing.T) {
 	}
 }
 
+// Two concurrent sends with a 3:1 weight split must see ~3:1 bandwidth:
+// the heavy send finishes in about M/(0.75·BW) simulated seconds, the
+// light one (which inherits the full link after the heavy one leaves) in
+// about 2·M/BW — a ~1.5x ratio, against 1.33x for equal sharing.
+func TestSimulatedTransportWeightedSharing(t *testing.T) {
+	const (
+		bwMBps = 1000.0
+		scale  = 25.0
+		bytes  = 8 << 20
+	)
+	tr := &SimulatedWANTransport{
+		Link:      &wan.Link{BandwidthMBps: bwMBps, Concurrency: 2},
+		Timescale: scale,
+	}
+	data := make([]byte, bytes)
+	var heavySec, lightSec float64
+	var heavyErr, lightErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		heavySec, heavyErr = tr.SendWeighted(context.Background(), "heavy", data, 3)
+	}()
+	go func() {
+		defer wg.Done()
+		lightSec, lightErr = tr.SendWeighted(context.Background(), "light", data, 1)
+	}()
+	wg.Wait()
+	if heavyErr != nil || lightErr != nil {
+		t.Fatal(heavyErr, lightErr)
+	}
+	if heavySec >= lightSec {
+		t.Fatalf("weight-3 send charged %.4fs, not faster than weight-1 send's %.4fs", heavySec, lightSec)
+	}
+	// The exact ratio depends on how closely the two admissions coincide;
+	// accept anything clearly past equal sharing's 1.33 midpoint region.
+	if ratio := lightSec / heavySec; ratio < 1.25 || ratio > 2.2 {
+		t.Errorf("light/heavy charged-time ratio %.2f outside [1.25, 2.2] (weights not honoured)", ratio)
+	}
+}
+
+// A cancelled in-flight send must return promptly — within far less than
+// its remaining transfer time — because every pacing select includes
+// ctx.Done. This is the transport half of the mid-stage cancellation
+// guarantee the serve daemon's cancel endpoint relies on.
+func TestSimulatedTransportCancelLatencyMidSend(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		// 1 MB/s: the 8 MB send below would pace for ~8 wall seconds.
+		Link:      &wan.Link{BandwidthMBps: 1, Concurrency: 1},
+		Timescale: 1,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tr.Send(ctx, "slow", make([]byte, 8<<20))
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the send enter its pacing loop
+	canceledAt := time.Now()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("cancelled send returned nil error")
+		}
+		if lat := time.Since(canceledAt); lat > 250*time.Millisecond {
+			t.Errorf("cancel latency %v, want well under the send's ~8s pacing", lat)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not return after cancellation")
+	}
+}
+
 // TransferStreams must default to the link's concurrency, not a constant
 // chosen independently of it.
 func TestTransferStreamsDefaultFollowsLinkConcurrency(t *testing.T) {

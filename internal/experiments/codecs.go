@@ -81,14 +81,12 @@ func CodecShootout(scale Scale) (*Result, error) {
 	for _, codecName := range shootoutCodecs {
 		legs[codecName] = map[string]*leg{}
 		for _, link := range links {
-			r, err := core.RunPipelinedCampaign(ctx, fields, core.PipelineOptions{
-				CampaignOptions: core.CampaignOptions{
-					RelErrorBound: 1e-3,
-					Workers:       4,
-					GroupParam:    4,
-					Codec:         codecName,
-				},
-				Transport: &core.SimulatedWANTransport{Link: link, Timescale: -1},
+			r, err := core.Run(ctx, fields, core.CampaignSpec{
+				RelErrorBound: 1e-3,
+				Workers:       4,
+				GroupParam:    4,
+				Codec:         codecName,
+				Transport:     &core.SimulatedWANTransport{Link: link, Timescale: -1},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("shootout %s over %s: %w", codecName, link.Name, err)

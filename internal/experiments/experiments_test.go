@@ -342,3 +342,42 @@ func TestCodecShootout(t *testing.T) {
 		t.Error("artifact text missing the planner line")
 	}
 }
+
+func TestServeFairness(t *testing.T) {
+	res, err := ServeFairness(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: equal-weight tenants on one shared link see
+	// near-equal throughput. The race detector's instrumentation adds
+	// scheduling jitter, so the floor is relaxed on instrumented builds.
+	floor := 0.9
+	if raceEnabled {
+		floor = 0.7
+	}
+	if j := res.Values["jain"]; j < floor {
+		t.Errorf("Jain fairness index %.3f below the %.1f floor for equal-weight tenants", j, floor)
+	}
+	// Link conservation: six concurrent campaigns may never move bytes
+	// faster than the shared link's bandwidth.
+	if agg, link := res.Values["aggregate_mbps"], res.Values["link_mbps"]; agg > link*1.02 {
+		t.Errorf("aggregate throughput %.2f MB/s exceeds the %.2f MB/s link", agg, link)
+	}
+	// A mid-stage cancel settles promptly: the transport aborts paced
+	// sends on ctx.Done rather than sleeping them out.
+	ceiling := 1.0
+	if raceEnabled {
+		ceiling = 3.0
+	}
+	if l := res.Values["cancel_latency_sec"]; l > ceiling {
+		t.Errorf("mid-stage cancel took %.2fs to settle (ceiling %.1fs)", l, ceiling)
+	}
+	for _, tn := range serveTenantNames {
+		if res.Values["tput_"+tn] <= 0 {
+			t.Errorf("tenant %s reported no throughput", tn)
+		}
+	}
+	if !strings.Contains(res.Text, "Jain fairness index") {
+		t.Error("artifact text missing the fairness line")
+	}
+}

@@ -72,13 +72,11 @@ func ParallelCompression(scale Scale) (*Result, error) {
 	ctx := context.Background()
 	runs := make([]*core.CampaignResult, 0, len(parallelWorkerCounts))
 	for _, w := range parallelWorkerCounts {
-		r, err := core.RunPipelinedCampaign(ctx, fields, core.PipelineOptions{
-			CampaignOptions: core.CampaignOptions{
-				RelErrorBound: 1e-3,
-				Workers:       8, // submitters + decompression, equal in every run
-				GroupParam:    4,
-				Codec:         scale.Codec,
-			},
+		r, err := core.Run(ctx, fields, core.CampaignSpec{
+			RelErrorBound: 1e-3,
+			Workers:       8, // submitters + decompression, equal in every run
+			GroupParam:    4,
+			Codec:         scale.Codec,
 			// Fresh transport per run: pacing state is shared per instance.
 			Transport:       &core.SimulatedWANTransport{Link: link, Timescale: 1},
 			ChunkMB:         chunkMB,

@@ -79,28 +79,25 @@ func Planner(scale Scale) (*Result, error) {
 	// Accounting-only transport: deterministic link seconds, no sleeping,
 	// so the artifact is reproducible at any machine speed.
 	transport := &core.SimulatedWANTransport{Link: link, Timescale: -1}
-	base := core.PipelineOptions{
-		CampaignOptions: core.CampaignOptions{Workers: 4},
-		Transport:       transport,
-	}
+	base := core.CampaignSpec{Workers: 4, Transport: transport}
 	ctx := context.Background()
 
-	adaptive, err := core.RunPlannedCampaign(ctx, fields, core.PlanOptions{
-		PipelineOptions: base,
-		Model:           model,
-		Planner:         popts,
-	})
+	aspec := base
+	aspec.Adaptive = true
+	aspec.Model = model
+	aspec.Planner = popts
+	adaptive, err := core.Run(ctx, fields, aspec)
 	if err != nil {
 		return nil, err
 	}
 	// The fixed baseline gets the same grouping decision the planner made,
 	// so the comparison isolates the configuration knobs (bound,
 	// predictor) — not a grouping handicap.
-	fixedOpts := base
-	fixedOpts.RelErrorBound = fixedEB
-	fixedOpts.GroupStrategy = adaptive.Plan.GroupStrategy
-	fixedOpts.GroupParam = adaptive.Plan.GroupParam
-	fixed, err := core.RunPipelinedCampaign(ctx, fields, fixedOpts)
+	fixedSpec := base
+	fixedSpec.RelErrorBound = fixedEB
+	fixedSpec.GroupStrategy = adaptive.Plan.GroupStrategy
+	fixedSpec.GroupParam = adaptive.Plan.GroupParam
+	fixed, err := core.Run(ctx, fields, fixedSpec)
 	if err != nil {
 		return nil, err
 	}

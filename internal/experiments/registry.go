@@ -39,6 +39,7 @@ func Drivers() []Driver {
 		{"ParallelCompression", ParallelCompression},
 		{"CodecShootout", CodecShootout},
 		{"HotPath", HotPath},
+		{"ServeFairness", ServeFairness},
 	}
 }
 

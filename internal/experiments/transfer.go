@@ -229,22 +229,22 @@ func PipelineOverlap(scale Scale) (*Result, error) {
 	}
 
 	link := wan.StandardLinks()["Anvil->Bebop"]
-	opts := core.PipelineOptions{
-		CampaignOptions: core.CampaignOptions{
-			RelErrorBound: 1e-3,
-			Workers:       4,
-			GroupParam:    6,
-			Codec:         scale.Codec,
-		},
+	spec := core.CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         4,
+		GroupParam:      6,
+		Codec:           scale.Codec,
 		Transport:       &core.SimulatedWANTransport{Link: link, Timescale: 1},
 		TransferStreams: 2,
 	}
 	ctx := context.Background()
-	seq, err := core.RunSequentialCampaign(ctx, fields, opts)
+	seqSpec := spec
+	seqSpec.Engine = core.EngineSequential
+	seq, err := core.Run(ctx, fields, seqSpec)
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := core.RunPipelinedCampaign(ctx, fields, opts)
+	pipe, err := core.Run(ctx, fields, spec)
 	if err != nil {
 		return nil, err
 	}

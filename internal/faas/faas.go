@@ -53,6 +53,7 @@ type task struct {
 	id       TaskID
 	fn       string
 	payload  interface{}
+	ctx      context.Context // the submitter's context; never nil
 	state    TaskState
 	result   interface{}
 	err      error
@@ -175,12 +176,27 @@ func (e *Endpoint) Abort() {
 func (e *Endpoint) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
-		select {
-		case <-e.aborted:
+		switch {
+		case isAborted(e.aborted):
 			e.finish(t, nil, fmt.Errorf("%w: %s", ErrEndpointClosed, e.name))
+		case t.ctx.Err() != nil:
+			// The submitter is gone: drain its queued tasks unexecuted, so a
+			// cancelled campaign's chunk backlog collapses immediately instead
+			// of compressing data nobody will collect.
+			e.finish(t, nil, t.ctx.Err())
 		default:
 			e.execute(t)
 		}
+	}
+}
+
+// isAborted reports whether the aborted channel is closed.
+func isAborted(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -209,10 +225,14 @@ func (e *Endpoint) execute(t *task) {
 			timer.Stop()
 			e.finish(t, nil, fmt.Errorf("%w: %s", ErrEndpointClosed, e.name))
 			return
+		case <-t.ctx.Done():
+			timer.Stop()
+			e.finish(t, nil, t.ctx.Err())
+			return
 		case <-timer.C:
 		}
 	}
-	res, err := fn(context.Background(), t.payload)
+	res, err := fn(t.ctx, t.payload)
 	e.finish(t, res, err)
 }
 
@@ -230,8 +250,12 @@ func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, erro
 	return s.submit(context.Background(), endpoint, fn, payload)
 }
 
-// SubmitContext is Submit honouring ctx while blocked on a full endpoint
-// queue — a cancelled submitter does not keep feeding the backlog.
+// SubmitContext is Submit honouring ctx through the task's whole life: a
+// submitter blocked on a full endpoint queue unblocks on cancel, tasks
+// still queued (or in their warming sleep) when ctx dies complete
+// immediately with the context error instead of executing, and the
+// function body itself receives ctx — so a cancelled campaign's chunk
+// backlog drains without doing the work.
 func (s *Service) SubmitContext(ctx context.Context, endpoint, fn string, payload interface{}) (TaskID, error) {
 	return s.submit(ctx, endpoint, fn, payload)
 }
@@ -249,7 +273,10 @@ func (s *Service) submit(ctx context.Context, endpoint, fn string, payload inter
 	}
 	s.nextID++
 	id := TaskID("task-" + strconv.FormatInt(s.nextID, 10))
-	t := &task{id: id, fn: fn, payload: payload, state: StatePending,
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := &task{id: id, fn: fn, payload: payload, ctx: ctx, state: StatePending,
 		done: make(chan struct{}), endpoint: endpoint}
 	s.tasks[id] = t
 	s.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -358,5 +359,94 @@ func TestSubmitContextHonoursCancelOnFullQueue(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("SubmitContext ignored cancellation while the queue was full")
+	}
+}
+
+// A cancelled submitter's queued tasks must drain unexecuted: the worker
+// skips them with the context error instead of running the function, and a
+// task caught in its warming sleep returns within the cancel latency, not
+// the cold-start delay.
+func TestSubmitContextCancelDrainsQueue(t *testing.T) {
+	svc := NewService()
+	var executed atomic.Int64
+	if err := svc.RegisterFunction("slow", func(ctx context.Context, payload interface{}) (interface{}, error) {
+		executed.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			return payload, nil
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := svc.DeployEndpoint("ep", EndpointConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	payloads := make([]interface{}, 8)
+	for i := range payloads {
+		payloads[i] = i
+	}
+	ids, err := svc.SubmitBatchContext(ctx, "ep", "slow", payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let the lone worker start task 0
+	cancel()
+
+	start := time.Now()
+	_, werr := svc.WaitAll(context.Background(), ids)
+	if werr == nil {
+		t.Fatal("cancelled batch completed without error")
+	}
+	if !errors.Is(werr, context.Canceled) {
+		t.Fatalf("batch error %v, want context.Canceled", werr)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Errorf("cancelled backlog took %v to drain, want prompt", wall)
+	}
+	// Only the task the worker had already picked up may have executed.
+	if n := executed.Load(); n > 2 {
+		t.Errorf("%d tasks executed after cancel, want the in-flight one only", n)
+	}
+}
+
+// A task cancelled during its cold-start warming sleep returns promptly
+// with the context error and never invokes the function.
+func TestCancelDuringWarming(t *testing.T) {
+	svc := NewService()
+	var executed atomic.Int64
+	if err := svc.RegisterFunction("fn", func(ctx context.Context, payload interface{}) (interface{}, error) {
+		executed.Add(1)
+		return payload, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := svc.DeployEndpoint("warmish", EndpointConfig{Workers: 1, ColdStart: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	id, err := svc.SubmitContext(ctx, "warmish", "fn", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // worker is now in the warming sleep
+	cancel()
+	start := time.Now()
+	if _, err := svc.Wait(context.Background(), id); !errors.Is(err, context.Canceled) {
+		t.Fatalf("warming task error %v, want context.Canceled", err)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Errorf("warming task took %v to cancel, want well under the 5s cold start", wall)
+	}
+	if executed.Load() != 0 {
+		t.Error("function body ran despite cancellation during warming")
 	}
 }

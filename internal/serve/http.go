@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ocelot/internal/core"
+	"ocelot/internal/datagen"
+	"ocelot/internal/sz"
+)
+
+// SubmitRequest is the POST /v1/campaigns body: which tenant submits, how
+// to synthesize the campaign's fields, and the campaign spec.
+type SubmitRequest struct {
+	// Tenant names the submitting tenant ("" = "default").
+	Tenant string `json:"tenant"`
+	// Priority orders the tenant's queue; higher runs first.
+	Priority int `json:"priority"`
+	// App, Fields, Shrink, Seed parameterize the synthetic dataset
+	// (datagen.Generate over the app's field list). Fields ≤ 0 means 4,
+	// Shrink ≤ 0 means 24, App "" means CESM.
+	App    string `json:"app"`
+	Fields int    `json:"fields"`
+	Shrink int    `json:"shrink"`
+	Seed   int64  `json:"seed"`
+	// Spec describes the campaign itself.
+	Spec SpecRequest `json:"spec"`
+}
+
+// SpecRequest is the wire form of core.CampaignSpec (the subset a remote
+// submitter controls; the daemon owns the transport and tenant weight).
+type SpecRequest struct {
+	// RelErrorBound is the relative error bound (required, > 0).
+	RelErrorBound float64 `json:"relErrorBound"`
+	// Codec names the compressor ("" = sz3).
+	Codec string `json:"codec"`
+	// Predictor is the sz predictor name ("" = interp).
+	Predictor string `json:"predictor"`
+	// Workers bounds compression parallelism; ≤ 0 = 4.
+	Workers int `json:"workers"`
+	// Groups is the by-world-size group count (0 = worker count).
+	Groups int64 `json:"groups"`
+	// Engine is pipelined (default), barrier, or sequential.
+	Engine string `json:"engine"`
+	// Streams is the transfer-stream count (0 = link concurrency).
+	Streams int `json:"streams"`
+	// ChunkMB > 0 fans compression out chunk-wise (raw MB per chunk).
+	ChunkMB float64 `json:"chunkMB"`
+	// CompressWorkers is the fan-out endpoint's worker count (0 = Workers).
+	CompressWorkers int `json:"compressWorkers"`
+}
+
+// Campaign resolves the wire spec into a core.CampaignSpec.
+func (r SpecRequest) Campaign() (core.CampaignSpec, error) {
+	engine, err := core.ParseEngine(r.Engine)
+	if err != nil {
+		return core.CampaignSpec{}, err
+	}
+	pred, err := sz.ParsePredictor(orDefault(r.Predictor, "interp"))
+	if err != nil {
+		return core.CampaignSpec{}, err
+	}
+	return core.CampaignSpec{
+		RelErrorBound:   r.RelErrorBound,
+		Predictor:       pred,
+		Codec:           r.Codec,
+		Workers:         r.Workers,
+		GroupParam:      r.Groups,
+		Engine:          engine,
+		TransferStreams: r.Streams,
+		ChunkMB:         r.ChunkMB,
+		CompressWorkers: r.CompressWorkers,
+	}, nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// GenerateFields synthesizes the dataset a SubmitRequest describes.
+func GenerateFields(app string, n, shrink int, seed int64) ([]*datagen.Field, error) {
+	if app == "" {
+		app = "CESM"
+	}
+	if n <= 0 {
+		n = 4
+	}
+	if shrink <= 0 {
+		shrink = 24
+	}
+	available := datagen.Fields(app)
+	if len(available) == 0 {
+		return nil, fmt.Errorf("serve: unknown app %q", app)
+	}
+	if n > len(available) {
+		n = len(available)
+	}
+	fields := make([]*datagen.Field, 0, n)
+	for _, name := range available[:n] {
+		f, err := datagen.Generate(app, name, shrink, seed)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+	}
+	return fields, nil
+}
+
+// Server is the daemon: a scheduler plus its HTTP JSON API.
+//
+// Routes (all JSON):
+//
+//	POST   /v1/campaigns            submit; 202 + JobStatus, 429 when full
+//	GET    /v1/campaigns            list every campaign's JobStatus
+//	GET    /v1/campaigns/{id}       one campaign's JobStatus
+//	GET    /v1/campaigns/{id}/watch NDJSON JobStatus stream until terminal
+//	POST   /v1/campaigns/{id}/cancel request cancellation; 202 + JobStatus
+//	GET    /v1/healthz              liveness probe
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+	// WatchInterval is the /watch poll cadence; 0 means 100ms.
+	WatchInterval time.Duration
+}
+
+// NewServer builds the daemon around a fresh scheduler.
+func NewServer(cfg Config) *Server {
+	s := &Server{sched: NewScheduler(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Scheduler exposes the underlying scheduler (tests and in-process use).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every campaign and stops admitting new ones.
+func (s *Server) Close() { s.sched.Close() }
+
+// httpError is the error body every route returns.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	spec, err := req.Spec.Campaign()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fields, err := GenerateFields(req.App, req.Fields, req.Shrink, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.sched.Submit(Request{
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+		Fields:   fields,
+		Spec:     spec,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sched.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, err := s.sched.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		j.Cancel()
+		writeJSON(w, http.StatusAccepted, j.Status())
+	}
+}
+
+// handleWatch streams newline-delimited JobStatus JSON until the campaign
+// is terminal, flushing after every snapshot so clients see progress live.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	interval := s.WatchInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		st := j.Status()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.Terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.Done():
+			// Emit the terminal snapshot on the next loop pass.
+		case <-ticker.C:
+		}
+	}
+}

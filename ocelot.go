@@ -230,14 +230,74 @@ func UniformFileSet(app string, n int, fileBytes int64, ratio float64) *FileSet 
 	return core.UniformFileSet(app, n, fileBytes, ratio)
 }
 
-// CampaignOptions configures a real in-process campaign.
-type CampaignOptions = core.CampaignOptions
+// --- Campaigns (unified API) ---
 
-// CampaignResult reports a real campaign run.
+// CampaignSpec is the single description of a campaign — bounds, codec,
+// packing, engine, transport, chunk fan-out, and the optional adaptive
+// plan pass. It replaces the CampaignOptions / PipelineOptions /
+// PlanOptions triple (which survive as deprecated wrappers).
+type CampaignSpec = core.CampaignSpec
+
+// CampaignEngine selects how a campaign's stages execute.
+type CampaignEngine = core.Engine
+
+// Campaign stage engines.
+const (
+	// EnginePipelined streams compress → pack → transfer → decompress
+	// through bounded channels (the default).
+	EnginePipelined = core.EnginePipelined
+	// EngineBarrier packs only after every field compressed — the classic
+	// RunCampaign semantics.
+	EngineBarrier = core.EngineBarrier
+	// EngineSequential adds hard barriers between every phase — the
+	// pre-pipelining baseline.
+	EngineSequential = core.EngineSequential
+)
+
+// ParseCampaignEngine resolves an engine by name ("" = pipelined).
+func ParseCampaignEngine(name string) (CampaignEngine, error) { return core.ParseEngine(name) }
+
+// Campaign is a re-entrant handle to a submitted campaign: watch it with
+// Status, await it with Wait or Done, stop it mid-stage with Cancel.
+type Campaign = core.Campaign
+
+// CampaignState is a campaign handle's lifecycle position.
+type CampaignState = core.CampaignState
+
+// CampaignStatus is a live snapshot of a submitted campaign.
+type CampaignStatus = core.CampaignStatus
+
+// CampaignResult reports a finished campaign run.
 type CampaignResult = core.CampaignResult
+
+// Run executes a campaign described by spec and blocks until it finishes.
+// It subsumes the historical RunCampaign / RunPipelinedCampaign /
+// RunSequentialCampaign / RunPlannedCampaign quartet: pick the engine via
+// CampaignSpec.Engine and the plan pass via CampaignSpec.Adaptive.
+func Run(ctx context.Context, fields []*Field, spec CampaignSpec) (*CampaignResult, error) {
+	return core.Run(ctx, fields, spec)
+}
+
+// Submit starts a campaign asynchronously and returns its re-entrant
+// handle; hundreds may run concurrently on a shared transport. This is
+// the primitive the `ocelot serve` daemon schedules multi-tenant
+// campaigns with.
+func Submit(ctx context.Context, fields []*Field, spec CampaignSpec) (*Campaign, error) {
+	return core.Submit(ctx, fields, spec)
+}
+
+// --- Campaigns (deprecated option structs and entry points) ---
+
+// CampaignOptions configures a real in-process campaign.
+//
+// Deprecated: build a CampaignSpec and call Run or Submit.
+type CampaignOptions = core.CampaignOptions
 
 // RunCampaign compresses fields in parallel, groups the streams, unpacks,
 // decompresses and verifies error bounds — the actual data path.
+//
+// Deprecated: equivalent to Run with Engine: EngineBarrier and
+// TransferStreams: 1.
 func RunCampaign(ctx context.Context, fields []*Field, opts CampaignOptions) (*CampaignResult, error) {
 	return core.RunCampaign(ctx, fields, opts)
 }
@@ -245,6 +305,8 @@ func RunCampaign(ctx context.Context, fields []*Field, opts CampaignOptions) (*C
 // --- Pipelined campaign engine ---
 
 // PipelineOptions configures the streaming campaign engine.
+//
+// Deprecated: build a CampaignSpec and call Run or Submit.
 type PipelineOptions = core.PipelineOptions
 
 // StageTiming is one pipeline stage's timing ledger.
@@ -268,12 +330,16 @@ type GridFTPTransport = core.GridFTPTransport
 // bounded stages, so a packed group starts its WAN transfer while later
 // fields are still compressing. The result carries per-stage timings and
 // the measured overlap.
+//
+// Deprecated: equivalent to Run with Engine: EnginePipelined.
 func RunPipelinedCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
 	return core.RunPipelinedCampaign(ctx, fields, opts)
 }
 
 // RunSequentialCampaign runs the same campaign with hard barriers between
 // phases — the pre-pipelining baseline for overlap benchmarks.
+//
+// Deprecated: equivalent to Run with Engine: EngineSequential.
 func RunSequentialCampaign(ctx context.Context, fields []*Field, opts PipelineOptions) (*CampaignResult, error) {
 	return core.RunSequentialCampaign(ctx, fields, opts)
 }
@@ -297,6 +363,9 @@ func PredictParallelCompressSec(secs []float64, chunks []int, workers int, overh
 // planner samples every field, predicts quality across a candidate grid,
 // and decides per-field bounds, predictors, and grouping before the
 // pipelined engine runs.
+//
+// Deprecated: build a CampaignSpec with Adaptive: true and call Run or
+// Submit.
 type PlanOptions = core.PlanOptions
 
 // PlannerOptions tunes the plan pass (candidate grid, quality floor, link
@@ -335,8 +404,16 @@ func PlannerCodecCandidates(codecNames []string) ([]PlannerCandidate, error) {
 	return planner.CodecCandidates(codecNames)
 }
 
+// PlanCampaignSpec runs only the plan stage of an adaptive spec and
+// returns the decision table an Adaptive Run or Submit would execute.
+func PlanCampaignSpec(fields []*Field, spec CampaignSpec) (*CampaignPlan, error) {
+	return core.PlanSpec(fields, spec)
+}
+
 // PlanCampaign runs only the plan stage and returns the decision table
 // RunPlannedCampaign would execute.
+//
+// Deprecated: use PlanCampaignSpec.
 func PlanCampaign(fields []*Field, opts PlanOptions) (*CampaignPlan, error) {
 	return core.PlanCampaign(fields, opts)
 }
@@ -345,6 +422,8 @@ func PlanCampaign(fields []*Field, opts PlanOptions) (*CampaignPlan, error) {
 // then run the pipelined campaign with the planned per-field
 // configurations, reporting predicted vs. actual ratio, seconds, and
 // measured PSNR in the CampaignResult.
+//
+// Deprecated: equivalent to Run with Adaptive: true.
 func RunPlannedCampaign(ctx context.Context, fields []*Field, opts PlanOptions) (*CampaignResult, error) {
 	return core.RunPlannedCampaign(ctx, fields, opts)
 }

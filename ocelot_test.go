@@ -146,12 +146,14 @@ func TestFacadeCampaignEngines(t *testing.T) {
 	if classic.Files != 6 || classic.Ratio <= 1 {
 		t.Errorf("classic campaign: %+v", classic)
 	}
-	opts := PipelineOptions{
-		CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 4, GroupParam: 3},
+	spec := CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         4,
+		GroupParam:      3,
 		Transport:       &SimulatedWANTransport{Link: StandardLinks()["Anvil->Cori"], Timescale: 1e-2},
 		TransferStreams: 2,
 	}
-	pipe, err := RunPipelinedCampaign(ctx, fields, opts)
+	pipe, err := Run(ctx, fields, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +163,26 @@ func TestFacadeCampaignEngines(t *testing.T) {
 	if pipe.MaxRelError > 1e-3*(1+1e-9) {
 		t.Errorf("bound violated: %g", pipe.MaxRelError)
 	}
-	seq, err := RunSequentialCampaign(ctx, fields, opts)
+	seqSpec := spec
+	seqSpec.Engine = EngineSequential
+	seq, err := Run(ctx, fields, seqSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if seq.Pipelined {
 		t.Error("sequential run marked pipelined")
+	}
+
+	// The re-entrant handle path: Submit, watch the live status, Wait.
+	handle, err := Submit(ctx, fields, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := handle.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := handle.Status(); !st.State.Terminal() || st.SentGroups == 0 {
+		t.Errorf("terminal handle status: %+v", st)
 	}
 }
 
@@ -180,22 +196,21 @@ func TestFacadePlannedCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := PlanOptions{
-		PipelineOptions: PipelineOptions{
-			CampaignOptions: CampaignOptions{Workers: 2},
-			Transport:       &SimulatedWANTransport{Link: StandardLinks()["Anvil->Cori"], Timescale: -1},
-		},
-		Model:   model,
-		Planner: PlannerOptions{MinPSNR: 70},
+	spec := CampaignSpec{
+		Workers:   2,
+		Transport: &SimulatedWANTransport{Link: StandardLinks()["Anvil->Cori"], Timescale: -1},
+		Adaptive:  true,
+		Model:     model,
+		Planner:   PlannerOptions{MinPSNR: 70},
 	}
-	plan, err := PlanCampaign(fields, opts)
+	plan, err := PlanCampaignSpec(fields, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(plan.Fields) != 4 || plan.GroupParam < 1 {
 		t.Fatalf("plan: %+v", plan)
 	}
-	res, err := RunPlannedCampaign(context.Background(), fields, opts)
+	res, err := Run(context.Background(), fields, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,8 +262,10 @@ func TestFacadeChunkedCampaign(t *testing.T) {
 		fields = append(fields, f)
 	}
 	run := func(workers int) *CampaignResult {
-		res, err := RunPipelinedCampaign(context.Background(), fields, PipelineOptions{
-			CampaignOptions: CampaignOptions{RelErrorBound: 1e-3, Workers: 4, GroupParam: 2},
+		res, err := Run(context.Background(), fields, CampaignSpec{
+			RelErrorBound:   1e-3,
+			Workers:         4,
+			GroupParam:      2,
 			ChunkMB:         float64(fields[0].RawBytes()) / 3 / 1e6,
 			CompressWorkers: workers,
 			ChunkEndpoint:   EndpointConfig{},

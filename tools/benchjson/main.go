@@ -8,10 +8,13 @@
 //     Huffman MB/s on the overhauled entropy hot path versus the pinned
 //     pre-overhaul reference implementations, plus the speedup factors
 //     the hot-path acceptance gates on (≥2x decompress, ≥1.3x compress).
+//   - BENCH_serve.json — the ServeFairness artifact: the multi-tenant
+//     scheduler's Jain fairness index, per-tenant and aggregate MB/s on
+//     one shared link, and mid-stage cancellation latency.
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json]
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json]
 //
 // Passing an empty string for either output path skips that artifact. The
 // Makefile's bench-json target is the canonical invocation.
@@ -91,6 +94,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "experiment seed")
 	out := fs.String("out", "BENCH_codecs.json", "codec shootout output path (empty = skip)")
 	hotOut := fs.String("hotpath-out", "BENCH_hotpath.json", "entropy hot-path output path (empty = skip)")
+	serveOut := fs.String("serve-out", "BENCH_serve.json", "multi-tenant serve fairness output path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +115,16 @@ func run(args []string) error {
 		fmt.Printf("wrote %s: %d metrics (sz3 decompress %.2fx, compress %.2fx vs pre-overhaul)\n",
 			*hotOut, len(res.Values), res.Values["speedup_sz3_decompress"],
 			res.Values["speedup_sz3_compress"])
+	}
+	if *serveOut != "" {
+		res, err := writeArtifact(experiments.ServeFairness, *serveOut, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (Jain %.3f, aggregate %.2f of %.2f MB/s, cancel %.3fs)\n",
+			*serveOut, len(res.Values), res.Values["jain"],
+			res.Values["aggregate_mbps"], res.Values["link_mbps"],
+			res.Values["cancel_latency_sec"])
 	}
 	return nil
 }
