@@ -37,18 +37,31 @@ bench-hotpath:
 	$(GO) test -run='^$$' -bench='BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkSZ3Throughput' \
 		-benchtime=1x .
 
-# Short fuzz pass over the stream parsers: crafted streams (including
-# unknown codec magic) must error, never panic. Each target fuzzes briefly
-# from the checked-in seed corpus in internal/sz/testdata/fuzz.
+# Short fuzz pass over the stream parsers and the daemon wire layer:
+# crafted streams (including unknown codec magic) and arbitrary HTTP
+# bodies must error, never panic. Each target fuzzes briefly from its
+# checked-in seed corpus (internal/sz/testdata/fuzz,
+# internal/serve/testdata/fuzz).
 fuzz-smoke:
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzHeaderParse -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzSplitChunked -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzDecompress -fuzztime=10s
+	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeAPI -fuzztime=5s
 
+# Static gate: gofmt, go vet, and the project's own invariant analyzers
+# (tools/ocelotvet — alloc caps, pool discipline, context flow, bound
+# resolution; see ARCHITECTURE.md "Enforced invariants"). staticcheck and
+# govulncheck run when installed; the container image does not bake them
+# in, so they are advisory locally and real wherever they exist.
 lint:
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./tools/ocelotvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -59,11 +72,15 @@ tier1:
 	$(GO) build ./... && $(GO) test ./...
 
 # Godoc coverage gate: fails when the facade, campaign engine, planner,
-# codec registry, or szx codec export an undocumented symbol
-# (tools/doccheck).
+# codec registry, szx codec, serve daemon, or the ocelotvet analyzer
+# suite export an undocumented symbol (tools/doccheck).
 doc-check:
 	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
-		./internal/codec ./internal/szx ./internal/serve
+		./internal/codec ./internal/szx ./internal/serve \
+		./tools/ocelotvet ./tools/ocelotvet/alloccap \
+		./tools/ocelotvet/poolsafe ./tools/ocelotvet/ctxflow \
+		./tools/ocelotvet/boundres ./tools/ocelotvet/internal/analysis \
+		./tools/ocelotvet/internal/load
 
 # Daemon round-trip smoke: start `ocelot serve`, submit a campaign over
 # HTTP and watch it to completion, submit a second and cancel it, list

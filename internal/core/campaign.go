@@ -187,7 +187,7 @@ func NewOrchestrator(svc *faas.Service, sourceEP, destEP string) (*Orchestrator,
 // CompressRemote submits a compression task to the source endpoint and
 // waits for the stream.
 func (o *Orchestrator) CompressRemote(ctx context.Context, data []float64, dims []int, cfg sz.Config) ([]byte, error) {
-	id, err := o.svc.Submit(o.sourceEP, fnCompress, compressArgs{data: data, dims: dims, cfg: cfg})
+	id, err := o.svc.SubmitContext(ctx, o.sourceEP, fnCompress, compressArgs{data: data, dims: dims, cfg: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +204,7 @@ func (o *Orchestrator) CompressRemote(ctx context.Context, data []float64, dims 
 
 // DecompressRemote submits a decompression task to the destination endpoint.
 func (o *Orchestrator) DecompressRemote(ctx context.Context, stream []byte) ([]float64, error) {
-	id, err := o.svc.Submit(o.destEP, fnDecompress, decompressArgs{stream: stream})
+	id, err := o.svc.SubmitContext(ctx, o.destEP, fnDecompress, decompressArgs{stream: stream})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ocelot/internal/faas"
+	"ocelot/internal/sz"
+)
+
+// TestCompressRemoteHonoursCancelOnFullQueue is the regression test for
+// the ctxflow finding in CompressRemote/DecompressRemote: both took a
+// context and then dropped it, submitting through the context-free faas
+// path — a caller cancelling a campaign still blocked forever behind a
+// full endpoint queue. The fix threads the caller's context into
+// SubmitContext, so cancellation unblocks the submitter.
+func TestCompressRemoteHonoursCancelOnFullQueue(t *testing.T) {
+	svc := faas.NewService()
+	block := make(chan struct{})
+	if err := svc.RegisterFunction("block", func(ctx context.Context, p interface{}) (interface{}, error) {
+		<-block
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := svc.DeployEndpoint("source", faas.EndpointConfig{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := svc.DeployEndpoint("dest", faas.EndpointConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(block)
+		src.Close()
+		dst.Close()
+	}()
+	orch, err := NewOrchestrator(svc, "source", "dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the source worker and its 1-deep queue with blockers.
+	if _, err := svc.SubmitBatchContext(context.Background(), "source", "block", []interface{}{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := orch.CompressRemote(ctx, []float64{1, 2, 3, 4}, []int{4}, sz.DefaultConfig(1e-3))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the submitter block on the full queue
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CompressRemote ignored cancellation while the endpoint queue was full")
+	}
+}

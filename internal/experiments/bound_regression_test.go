@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRelConfigDegenerateRange is the regression test for the boundres
+// finding in relConfig: it resolved relative bounds with its own
+// eb*range arithmetic, whose `rng <= 0` fallback missed non-finite
+// ranges — a field containing +Inf produced an infinite absolute bound.
+// The fix routes through sz.Config.AbsoluteBound, whose fallback also
+// covers NaN and Inf ranges.
+func TestRelConfigDegenerateRange(t *testing.T) {
+	cases := []struct {
+		name  string
+		data  []float64
+		relEB float64
+		want  float64
+	}{
+		{"infinite range falls back to 1", []float64{math.Inf(1), 0}, 1e-3, 1e-3},
+		{"nan range falls back to 1", []float64{math.NaN(), 5}, 1e-3, 1e-3},
+		{"constant field falls back to 1", []float64{3, 3, 3}, 1e-2, 1e-2},
+		{"finite range scales the bound", []float64{0, 0.5, 2}, 1e-3, 2e-3},
+	}
+	for _, tc := range cases {
+		cfg := relConfig(tc.data, tc.relEB)
+		if math.Abs(cfg.ErrorBound-tc.want) > 1e-15 || math.IsNaN(cfg.ErrorBound) {
+			t.Errorf("%s: relConfig bound = %g, want %g", tc.name, cfg.ErrorBound, tc.want)
+		}
+	}
+}

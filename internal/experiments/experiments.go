@@ -117,13 +117,13 @@ func adaptiveStride(n int) int {
 	return s
 }
 
-// relConfig builds an SZ config whose absolute bound is relEB × range.
+// relConfig builds an SZ config whose absolute bound is relEB resolved
+// against the data's range through sz.Config.AbsoluteBound — the single
+// rel→abs resolver, so experiments quantize at exactly the bound the
+// compressor would pick itself (degenerate ranges included).
 func relConfig(data []float64, relEB float64) sz.Config {
-	rng := metrics.ComputeRange(data).Range
-	if rng <= 0 {
-		rng = 1
-	}
-	return sz.DefaultConfig(relEB * rng)
+	rel := sz.Config{ErrorBound: relEB, BoundMode: sz.BoundRelative}
+	return sz.DefaultConfig(rel.AbsoluteBound(data))
 }
 
 // measureCompression compresses and reports (ratio, seconds, stats).

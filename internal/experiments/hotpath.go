@@ -189,6 +189,9 @@ func HotPath(scale Scale) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The benchmark closures below borrow the table; it outlives them all,
+	// so one deferred release covers every exit.
+	defer table.Release()
 	huffBits, err := table.EncodedBitsStream(&symStream)
 	if err != nil {
 		return nil, err

@@ -245,17 +245,15 @@ func (e *Endpoint) finish(t *task, res interface{}, err error) {
 	close(t.done)
 }
 
-// Submit queues a function invocation on an endpoint and returns a TaskID.
-func (s *Service) Submit(endpoint, fn string, payload interface{}) (TaskID, error) {
-	return s.submit(context.Background(), endpoint, fn, payload)
-}
-
-// SubmitContext is Submit honouring ctx through the task's whole life: a
-// submitter blocked on a full endpoint queue unblocks on cancel, tasks
-// still queued (or in their warming sleep) when ctx dies complete
-// immediately with the context error instead of executing, and the
-// function body itself receives ctx — so a cancelled campaign's chunk
-// backlog drains without doing the work.
+// SubmitContext queues a function invocation on an endpoint and returns a
+// TaskID, honouring ctx through the task's whole life: a submitter
+// blocked on a full endpoint queue unblocks on cancel, tasks still queued
+// (or in their warming sleep) when ctx dies complete immediately with the
+// context error instead of executing, and the function body itself
+// receives ctx — so a cancelled campaign's chunk backlog drains without
+// doing the work. There is deliberately no context-free variant: a
+// caller that cannot be cancelled passes its own root context and says so
+// at its boundary, not here.
 func (s *Service) SubmitContext(ctx context.Context, endpoint, fn string, payload interface{}) (TaskID, error) {
 	return s.submit(ctx, endpoint, fn, payload)
 }
@@ -273,9 +271,6 @@ func (s *Service) submit(ctx context.Context, endpoint, fn string, payload inter
 	}
 	s.nextID++
 	id := TaskID("task-" + strconv.FormatInt(s.nextID, 10))
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	t := &task{id: id, fn: fn, payload: payload, ctx: ctx, state: StatePending,
 		done: make(chan struct{}), endpoint: endpoint}
 	s.tasks[id] = t
@@ -300,13 +295,9 @@ func (s *Service) submit(ctx context.Context, endpoint, fn string, payload inter
 	}
 }
 
-// SubmitBatch submits the same function once per payload (funcX batching).
-func (s *Service) SubmitBatch(endpoint, fn string, payloads []interface{}) ([]TaskID, error) {
-	return s.SubmitBatchContext(context.Background(), endpoint, fn, payloads)
-}
-
-// SubmitBatchContext is SubmitBatch honouring ctx between and during
-// enqueues; already-submitted IDs are returned beside the error.
+// SubmitBatchContext submits the same function once per payload (funcX
+// batching), honouring ctx between and during enqueues;
+// already-submitted IDs are returned beside the error.
 func (s *Service) SubmitBatchContext(ctx context.Context, endpoint, fn string, payloads []interface{}) ([]TaskID, error) {
 	ids := make([]TaskID, 0, len(payloads))
 	for _, p := range payloads {

@@ -32,7 +32,7 @@ func TestSubmitAndWait(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	id, err := svc.Submit("anvil", "double", 21)
+	id, err := svc.SubmitContext(context.Background(), "anvil", "double", 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestFunctionError(t *testing.T) {
 	_ = svc.RegisterFunction("boom", func(ctx context.Context, p interface{}) (interface{}, error) {
 		return nil, wantErr
 	})
-	id, err := svc.Submit("anvil", "boom", nil)
+	id, err := svc.SubmitContext(context.Background(), "anvil", "boom", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +70,10 @@ func TestFunctionError(t *testing.T) {
 func TestUnknownTargets(t *testing.T) {
 	svc, _ := newFabric(t, 1)
 	_ = svc.RegisterFunction("f", func(ctx context.Context, p interface{}) (interface{}, error) { return nil, nil })
-	if _, err := svc.Submit("nope", "f", nil); !errors.Is(err, ErrUnknownEndpoint) {
+	if _, err := svc.SubmitContext(context.Background(), "nope", "f", nil); !errors.Is(err, ErrUnknownEndpoint) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := svc.Submit("anvil", "nope", nil); !errors.Is(err, ErrUnknownFunction) {
+	if _, err := svc.SubmitContext(context.Background(), "anvil", "nope", nil); !errors.Is(err, ErrUnknownFunction) {
 		t.Fatalf("err = %v", err)
 	}
 	if _, err := svc.Wait(context.Background(), "task-999"); !errors.Is(err, ErrUnknownTask) {
@@ -112,7 +112,7 @@ func TestBatchSubmission(t *testing.T) {
 	for i := range payloads {
 		payloads[i] = i
 	}
-	ids, err := svc.SubmitBatch("anvil", "square", payloads)
+	ids, err := svc.SubmitBatchContext(context.Background(), "anvil", "square", payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestContainerWarming(t *testing.T) {
 	})
 	timeInvoke := func() time.Duration {
 		start := time.Now()
-		id, err := svc.Submit("cold", "noop", nil)
+		id, err := svc.SubmitContext(context.Background(), "cold", "noop", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +167,7 @@ func TestWaitContextCancel(t *testing.T) {
 		<-block
 		return nil, nil
 	})
-	id, err := svc.Submit("anvil", "stall", nil)
+	id, err := svc.SubmitContext(context.Background(), "anvil", "stall", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestConcurrentSubmitters(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				id, err := svc.Submit("anvil", "id", fmt.Sprintf("%d-%d", g, i))
+				id, err := svc.SubmitContext(context.Background(), "anvil", "id", fmt.Sprintf("%d-%d", g, i))
 				if err != nil {
 					errs <- err
 					return
@@ -235,7 +235,7 @@ func TestSubmitAfterClose(t *testing.T) {
 	}
 	_ = svc.RegisterFunction("f", func(ctx context.Context, p interface{}) (interface{}, error) { return nil, nil })
 	ep.Close()
-	if _, err := svc.Submit("tmp", "f", nil); err == nil {
+	if _, err := svc.SubmitContext(context.Background(), "tmp", "f", nil); err == nil {
 		t.Fatal("submit to closed endpoint must error")
 	}
 }
@@ -256,7 +256,7 @@ func TestAbortDropsQueuedTasks(t *testing.T) {
 	for i := range payloads {
 		payloads[i] = i
 	}
-	ids, err := svc.SubmitBatch("ep", "slow", payloads)
+	ids, err := svc.SubmitBatchContext(context.Background(), "ep", "slow", payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestForgetReleasesFinishedTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ep.Close()
-	id, err := svc.Submit("ep", "echo", 42)
+	id, err := svc.SubmitContext(context.Background(), "ep", "echo", 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestForgetReleasesFinishedTasks(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	id2, err := svc.Submit("ep", "block", nil)
+	id2, err := svc.SubmitContext(context.Background(), "ep", "block", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestSubmitContextHonoursCancelOnFullQueue(t *testing.T) {
 	}()
 	// Fill the worker and the 1-deep queue.
 	payloads := []interface{}{1, 2}
-	if _, err := svc.SubmitBatch("ep", "block", payloads); err != nil {
+	if _, err := svc.SubmitBatchContext(context.Background(), "ep", "block", payloads); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -201,6 +201,7 @@ func FromCodes(codes []int, radius int) (*CompressorFeatures, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer table.Release()
 	totalBits := 0
 	for sym, f := range freqs {
 		if f > 0 {

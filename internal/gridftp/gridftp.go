@@ -373,23 +373,23 @@ func (c *Client) Transfer(ctx context.Context, files []File) (*Summary, error) {
 			defer wg.Done()
 			conn, err := net.Dial("tcp", c.addr)
 			if err != nil {
-				errCh <- err
+				errCh <- err //ocelotvet:ok ctxflow errCh is buffered to one slot per worker and each worker sends at most once; the send can never block
 				return
 			}
 			defer conn.Close()
 			bw := bufio.NewWriterSize(conn, 256<<10)
 			if _, err := io.WriteString(bw, "DATA "+hello.Session+"\n"); err != nil {
-				errCh <- err
+				errCh <- err //ocelotvet:ok ctxflow buffered one-slot-per-worker channel; each worker sends at most once, never blocking
 				return
 			}
 			for idx := range queue {
 				if err := writeFrame(bw, files[idx]); err != nil {
-					errCh <- err
+					errCh <- err //ocelotvet:ok ctxflow buffered one-slot-per-worker channel; each worker sends at most once, never blocking
 					return
 				}
 			}
 			if err := bw.Flush(); err != nil {
-				errCh <- err
+				errCh <- err //ocelotvet:ok ctxflow buffered one-slot-per-worker channel; each worker sends at most once, never blocking
 			}
 		}()
 	}

@@ -299,12 +299,14 @@ func pooledCodes(n int) []Code {
 	p := tableCodesPool.Get().(*[]Code)
 	s := *p
 	if cap(s) < n {
+		//ocelotvet:ok poolsafe undersized entry is deliberately dropped so the pool converges on full-alphabet windows
 		return make([]Code, n)
 	}
 	s = s[:n]
 	for i := range s {
 		s[i] = Code{}
 	}
+	//ocelotvet:ok poolsafe the window transfers into the Table; Table.Release puts it back
 	return s
 }
 
@@ -557,6 +559,9 @@ func EncodeWithFreqs(data []int, alphabetSize int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Encode copies everything it needs into the output stream, so the
+	// table's pooled code window can go straight back.
+	defer t.Release()
 	return Encode(data, t)
 }
 

@@ -1,0 +1,45 @@
+package huffman
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// TestEncodeWithFreqsReleasesTable is the regression test for the table
+// leak ocelotvet's poolsafe analyzer found: EncodeWithFreqs built a table
+// and returned Encode's result without ever calling Release, so the code
+// window (~0.5–1 MiB for escape-heavy alphabets) was garbage on every
+// call instead of cycling through tableCodesPool.
+//
+// The check drains the pool, runs one encode, and asserts a non-empty
+// window came back. sync.Pool is only deterministic on a single pinned
+// goroutine with the GC off, so the test locks the thread and disables
+// collection for its duration.
+func TestEncodeWithFreqsReleasesTable(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	// Drain windows left behind by other tests until the pool hands out
+	// fresh (zero-cap) entries.
+	for {
+		p := tableCodesPool.Get().(*[]Code)
+		if cap(*p) == 0 {
+			break
+		}
+	}
+
+	data := make([]int, 4096)
+	for i := range data {
+		data[i] = i % 256
+	}
+	if _, err := EncodeWithFreqs(data, 256); err != nil {
+		t.Fatal(err)
+	}
+
+	p := tableCodesPool.Get().(*[]Code)
+	if cap(*p) == 0 {
+		t.Fatal("EncodeWithFreqs did not return its table's code window to the pool; the window leaks on every call")
+	}
+}

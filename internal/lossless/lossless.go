@@ -216,6 +216,9 @@ func deflateDecompress(body []byte, size int) ([]byte, error) {
 	if r == nil {
 		r = flate.NewReader(br)
 	} else if err := r.(flate.Resetter).Reset(br, nil); err != nil {
+		// The reader is still reusable — Reset with a nil dictionary only
+		// fails on the source, and the next user Resets again anyway.
+		deflateReaderPool.Put(r)
 		return nil, err
 	}
 	defer deflateReaderPool.Put(r)

@@ -97,10 +97,6 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 		// The paper applies value-range-relative bounds per field so that a
 		// "1e-3" setting is comparable across fields with wildly different
 		// scales; we do the same by resolving to an absolute bound here.
-		rng := metrics.ComputeRange(f.Data).Range
-		if rng <= 0 {
-			rng = 1
-		}
 		stride := opts.SampleStride
 		if stride <= 0 {
 			// Adaptive default: the paper's 1-in-100 sampling assumes
@@ -115,7 +111,11 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 			}
 		}
 		for _, eb := range ebs {
-			cfg := sz.DefaultConfig(eb * rng)
+			// Resolve the relative bound through the one canonical resolver so
+			// degenerate ranges (constant, NaN, Inf fields) use the same
+			// fallback the compressor itself applies.
+			absEB := sz.Config{ErrorBound: eb, BoundMode: sz.BoundRelative}.AbsoluteBound(f.Data)
+			cfg := sz.DefaultConfig(absEB)
 			if opts.Predictor != 0 {
 				cfg.Predictor = opts.Predictor
 			}
@@ -134,7 +134,7 @@ func Collect(fields []*datagen.Field, opts CollectOptions) ([]Sample, error) {
 			start := now()
 			var stream []byte
 			if cdc != nil {
-				stream, err = cdc.Compress(f.Data, f.Dims, codec.Params{AbsErrorBound: eb * rng})
+				stream, err = cdc.Compress(f.Data, f.Dims, codec.Params{AbsErrorBound: absEB})
 			} else {
 				stream, _, err = sz.Compress(f.Data, f.Dims, cfg)
 			}
@@ -319,11 +319,10 @@ func (m *Model) EstimateFieldCodec(data []float64, dims []int, relEB float64, pr
 			codecName = sz.CodecName
 		}
 	}
-	rng := metrics.ComputeRange(data).Range
-	if rng <= 0 {
-		rng = 1
-	}
-	cfg := sz.DefaultConfig(relEB * rng)
+	// One resolver for rel→abs bounds: sz.Config.AbsoluteBound, so the
+	// estimate quantizes at exactly the bound a real compression run uses,
+	// including the degenerate-range fallback for NaN/Inf/constant fields.
+	cfg := sz.DefaultConfig(sz.Config{ErrorBound: relEB, BoundMode: sz.BoundRelative}.AbsoluteBound(data))
 	if pred != 0 {
 		cfg.Predictor = pred
 	}

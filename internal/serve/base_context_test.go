@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ocelot/internal/core"
+)
+
+// TestSchedulerBaseContextCancellation covers the Config.BaseContext
+// plumbing added for the ctxflow finding in NewScheduler: the scheduler
+// used to mint its own root context unconditionally, so an embedding
+// process had no way to tie campaign lifetimes to its own shutdown.
+// Cancelling the supplied base must settle submitted jobs with an error
+// instead of running them to completion.
+func TestSchedulerBaseContextCancellation(t *testing.T) {
+	base, cancelBase := context.WithCancel(context.Background())
+	sched := NewScheduler(Config{BaseContext: base})
+	defer sched.Close()
+
+	cancelBase()
+	j, err := sched.Submit(Request{
+		Tenant: "t",
+		Fields: testFields(t, 1),
+		Spec:   core.CampaignSpec{RelErrorBound: 1e-3, Workers: 1, GroupParam: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := j.Wait(ctx); err == nil {
+		t.Fatal("job ran to completion under a cancelled base context")
+	}
+}

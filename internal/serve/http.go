@@ -21,7 +21,9 @@ type SubmitRequest struct {
 	Priority int `json:"priority"`
 	// App, Fields, Shrink, Seed parameterize the synthetic dataset
 	// (datagen.Generate over the app's field list). Fields ≤ 0 means 4,
-	// Shrink ≤ 0 means 24, App "" means CESM.
+	// Shrink ≤ 0 means 24, App "" means CESM. Shrink values in
+	// [1, MinShrink) are rejected: they ask the daemon to materialize
+	// near-paper-scale fields on behalf of a remote caller.
 	App    string `json:"app"`
 	Fields int    `json:"fields"`
 	Shrink int    `json:"shrink"`
@@ -152,6 +154,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close cancels every campaign and stops admitting new ones.
 func (s *Server) Close() { s.sched.Close() }
 
+// maxSubmitBody caps the POST /v1/campaigns body. A well-formed submit
+// request is a few hundred bytes; anything beyond 1 MiB is a client bug
+// or a memory-exhaustion attempt, and the decoder stops reading there.
+const maxSubmitBody = 1 << 20
+
+// MinShrink is the smallest dataset shrink factor a remote submission may
+// request. Shrink 1 is paper scale — gigabytes per field — which a daemon
+// must not synthesize just because an HTTP body asked for it. In-process
+// callers that really want full scale can build fields themselves and use
+// Scheduler.Submit directly.
+const MinShrink = 4
+
 // httpError is the error body every route returns.
 type httpError struct {
 	Error string `json:"error"`
@@ -171,8 +185,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBody)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if req.Shrink > 0 && req.Shrink < MinShrink {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: shrink %d below minimum %d (near-paper-scale fields are not served remotely)", req.Shrink, MinShrink))
 		return
 	}
 	spec, err := req.Spec.Campaign()

@@ -66,6 +66,11 @@ type Config struct {
 	MaxRunning int
 	// Now injects a clock for tests; nil = time.Now.
 	Now func() time.Time
+	// BaseContext is the root every campaign context derives from, so an
+	// embedding process (daemon shutdown, request-scoped serving) can
+	// cancel the whole scheduler from outside; nil means a private root
+	// that only Close cancels.
+	BaseContext context.Context
 }
 
 // Request is one campaign submission.
@@ -271,7 +276,13 @@ func NewScheduler(cfg Config) *Scheduler {
 	if transport == nil {
 		transport = core.NopTransport{}
 	}
-	ctx, stop := context.WithCancel(context.Background())
+	base := cfg.BaseContext
+	if base == nil {
+		// The one deliberate root: a scheduler not embedded under a caller
+		// context is its own lifetime, and Close cancels it.
+		base = context.Background() //ocelotvet:ok ctxflow documented fallback root; callers embed via Config.BaseContext and Close cancels this one
+	}
+	ctx, stop := context.WithCancel(base)
 	return &Scheduler{
 		cfg:       cfg,
 		transport: transport,

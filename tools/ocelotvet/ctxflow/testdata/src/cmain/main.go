@@ -1,0 +1,11 @@
+// Command cmain is ctxflow golden data for the one place a root context
+// is legitimate: package main.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) { _ = ctx }

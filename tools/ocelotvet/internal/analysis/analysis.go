@@ -1,0 +1,136 @@
+// Package analysis is the minimal, dependency-free core of ocelotvet: the
+// Analyzer/Pass/Diagnostic contract the four project analyzers are written
+// against.
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis so each
+// analyzer's Run function could be lifted onto the upstream framework
+// unchanged — but this module builds offline with no dependencies beyond
+// the standard library, so the vet gate can never be skipped because a
+// proxy is unreachable. If x/tools ever lands in the build image, porting
+// is mechanical: swap the import and delete this package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker: a name diagnostics are filed
+// under, a doc string stating the invariant, and the Run function.
+type Analyzer struct {
+	// Name is the analyzer's short identifier (e.g. "alloccap"); it is the
+	// key used by -only filters and //ocelotvet:ok suppressions.
+	Name string
+	// Doc states the enforced invariant, first line short.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	// Analyzer is the checker this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions for every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression/object tables.
+	TypesInfo *types.Info
+	// Report files one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf files a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	// Pos anchors the finding in p.Fset.
+	Pos token.Pos
+	// Message states the violation and, where possible, the fix.
+	Message string
+}
+
+// okDirective is the suppression marker: a line comment of the form
+// "//ocelotvet:ok <analyzer> <reason>" on the flagged line (or the line
+// above it) silences that analyzer there. The reason is mandatory by
+// convention — the comment is the paper trail for why the invariant is
+// safe to waive at that one site.
+const okDirective = "//ocelotvet:ok"
+
+// suppressed reports whether a diagnostic at pos is waived by an
+// okDirective for the analyzer in any of the files.
+func suppressed(fset *token.FileSet, files []*ast.File, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, f := range files {
+		if fset.Position(f.Pos()).Filename != p.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, okDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, okDirective)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 || fields[0] != name {
+					continue
+				}
+				cl := fset.Position(c.Pos()).Line
+				if cl == p.Line || cl == p.Line-1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Run applies one analyzer to a loaded package and returns its surviving
+// diagnostics (suppressions applied), sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d Diagnostic) {
+			diags = append(diags, d)
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(fset, files, a.Name, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// Preorder walks every file in the pass in depth-first order, invoking fn
+// on each node (the ast.Inspect contract with a single callback).
+func Preorder(pass *Pass, fn func(ast.Node)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs an ocelotvet analyzer over golden packages
+// under testdata/src/<pkg> and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A line expecting diagnostics carries one comment per expected finding:
+//
+//	n := make([]byte, sz) // want `derives from stream bytes`
+//
+// The want payload is a regular expression (backquoted or double-quoted)
+// matched against the diagnostic message. Every diagnostic must be matched
+// by a want on its line and every want must be matched by a diagnostic;
+// any mismatch fails the test with a position-annotated report.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ocelot/tools/ocelotvet/internal/analysis"
+	"ocelot/tools/ocelotvet/internal/load"
+)
+
+var wantRe = regexp.MustCompile("// want (`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package relative to dir
+// (the analyzer package's directory), runs the analyzer, and asserts its
+// diagnostics match the // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := load.NewLoader()
+	for _, name := range pkgs {
+		pkgDir := filepath.Join(dir, "testdata", "src", name)
+		pkg, err := l.Dir(pkgDir, name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgDir, err)
+		}
+		diags, err := analysis.Run(a, l.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, name, err)
+		}
+		wants, err := collectWants(l.Fset, pkg.Files)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", pkgDir, err)
+		}
+		check(t, l.Fset, name, diags, wants)
+	}
+}
+
+// collectWants extracts want expectations from every comment in files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					lit := m[1]
+					var pat string
+					if strings.HasPrefix(lit, "`") {
+						pat = strings.Trim(lit, "`")
+					} else {
+						unq, err := strconv.Unquote(lit)
+						if err != nil {
+							return nil, fmt.Errorf("bad want literal %s: %v", lit, err)
+						}
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("bad want pattern %q: %v", pat, err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg string, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	var unexpected []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	var missing []string
+	for _, w := range wants {
+		if !w.matched {
+			missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(unexpected)
+	sort.Strings(missing)
+	for _, m := range append(unexpected, missing...) {
+		t.Errorf("%s: %s", pkg, m)
+	}
+}

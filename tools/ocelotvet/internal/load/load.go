@@ -1,0 +1,111 @@
+// Package load parses and type-checks Go packages for ocelotvet using
+// only the standard library: source files via go/parser, imports through
+// the compiler's source importer (which resolves both std and module-local
+// paths offline). Test files are excluded — the analyzers enforce
+// invariants on shipped code.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path (or a display name for testdata).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Loader type-checks packages against a shared FileSet and import cache,
+// so a whole-repo sweep checks each dependency once.
+type Loader struct {
+	// Fset is the position table shared by every loaded package.
+	Fset *token.FileSet
+
+	imp types.Importer
+}
+
+// NewLoader builds a loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Dir loads the single package in dir, reporting it under the given path.
+// Imports must resolve through the source importer (standard library and
+// module-local paths both work).
+func (l *Loader) Dir(dir, path string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go sources in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// List expands package patterns (e.g. "./...") into import paths and
+// their directories by invoking `go list` in moduleDir.
+func List(moduleDir string, patterns ...string) (paths, dirs []string, err error) {
+	args := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, nil, fmt.Errorf("go list %v: %v: %s", patterns, err, ee.Stderr)
+		}
+		return nil, nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		paths = append(paths, parts[0])
+		dirs = append(dirs, parts[1])
+	}
+	return paths, dirs, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ocelot/tools/ocelotvet/internal/analysis"
+	"ocelot/tools/ocelotvet/internal/load"
+)
+
+// TestRepoClean asserts the whole module passes every analyzer — the
+// invariant gate itself. Removing any decoder allocation cap, pool
+// release, or context plumbing this suite guards turns this test (and CI)
+// red.
+func TestRepoClean(t *testing.T) {
+	moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, dirs, err := load.List(moduleDir, "./...")
+	if err != nil {
+		t.Fatalf("listing module packages: %v", err)
+	}
+	loader := load.NewLoader()
+	for i, path := range paths {
+		var run []*analysis.Analyzer
+		for _, a := range Analyzers {
+			if targets, scoped := Targets[a.Name]; scoped && !targets[path] {
+				continue
+			}
+			run = append(run, a)
+		}
+		if len(run) == 0 {
+			continue
+		}
+		pkg, err := loader.Dir(dirs[i], path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, a := range run {
+			diags, err := analysis.Run(a, loader.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, path, err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s: %s [%s]", loader.Fset.Position(d.Pos), d.Message, a.Name)
+			}
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's registration sane: unique names,
+// docs present, and every Targets key naming a registered analyzer.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for name := range Targets {
+		if !seen[name] {
+			t.Errorf("Targets names unknown analyzer %q", name)
+		}
+	}
+}

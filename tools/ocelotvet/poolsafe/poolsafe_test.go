@@ -1,0 +1,15 @@
+package poolsafe
+
+import (
+	"testing"
+
+	"ocelot/tools/ocelotvet/internal/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	// Register the golden package's domain pool the same way the driver's
+	// built-in table registers huffman.BuildTable and sz.getArena.
+	AcquirePairs["b.acquire"] = "Release"
+	defer delete(AcquirePairs, "b.acquire")
+	analysistest.Run(t, ".", Analyzer, "b")
+}
