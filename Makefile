@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-hotpath bench-serve fuzz-smoke lint cover tier1 plan-smoke serve-smoke doc-check
+.PHONY: build test race bench bench-json bench-hotpath bench-serve bench-resume fuzz-smoke lint cover tier1 plan-smoke serve-smoke resume-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -18,18 +18,27 @@ bench:
 # Machine-readable benchmarks: regenerates the CodecShootout artifact
 # (wall/ratio/PSNR per codec/link → BENCH_codecs.json), the HotPath
 # artifact (entropy hot-path MB/s vs the pinned pre-overhaul reference →
-# BENCH_hotpath.json), and the ServeFairness artifact (multi-tenant
-# scheduler fairness/throughput/cancel latency → BENCH_serve.json), so all
-# perf trajectories are tracked as diffable files.
+# BENCH_hotpath.json), the ServeFairness artifact (multi-tenant scheduler
+# fairness/throughput/cancel latency → BENCH_serve.json), and the
+# FaultResume artifact (crash-resume digest identity, resent-bytes
+# fraction, flap retries → BENCH_resume.json), so all perf trajectories
+# are tracked as diffable files.
 bench-json:
 	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json \
-		-hotpath-out BENCH_hotpath.json -serve-out BENCH_serve.json
+		-hotpath-out BENCH_hotpath.json -serve-out BENCH_serve.json \
+		-resume-out BENCH_resume.json
 
 # Multi-tenant serve load test alone: regenerates BENCH_serve.json (Jain
 # fairness index, per-tenant and aggregate MB/s, cancel latency).
 bench-serve:
 	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
-		-serve-out BENCH_serve.json
+		-serve-out BENCH_serve.json -resume-out ''
+
+# Fault-tolerance artifact alone: regenerates BENCH_resume.json (resume
+# wall vs full-rerun wall, resent-bytes fraction, retry/fail-fast counts).
+bench-resume:
+	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
+		-serve-out '' -resume-out BENCH_resume.json
 
 # Entropy hot-path throughput benchmarks in smoke mode: compile and run
 # each once so the tracked figures cannot rot between bench-json refreshes.
@@ -37,16 +46,18 @@ bench-hotpath:
 	$(GO) test -run='^$$' -bench='BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkSZ3Throughput' \
 		-benchtime=1x .
 
-# Short fuzz pass over the stream parsers and the daemon wire layer:
-# crafted streams (including unknown codec magic) and arbitrary HTTP
-# bodies must error, never panic. Each target fuzzes briefly from its
-# checked-in seed corpus (internal/sz/testdata/fuzz,
-# internal/serve/testdata/fuzz).
+# Short fuzz pass over the stream parsers, the daemon wire layer, and the
+# campaign journal: crafted streams (including unknown codec magic),
+# arbitrary HTTP bodies, and corrupted journal manifests must error, never
+# panic. Each target fuzzes briefly from its checked-in seed corpus
+# (internal/sz/testdata/fuzz, internal/serve/testdata/fuzz,
+# internal/journal/testdata/fuzz).
 fuzz-smoke:
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzHeaderParse -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzSplitChunked -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzDecompress -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeAPI -fuzztime=5s
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalManifest -fuzztime=5s
 
 # Static gate: gofmt, go vet, and the project's own invariant analyzers
 # (tools/ocelotvet — alloc caps, pool discipline, context flow, bound
@@ -72,11 +83,12 @@ tier1:
 	$(GO) build ./... && $(GO) test ./...
 
 # Godoc coverage gate: fails when the facade, campaign engine, planner,
-# codec registry, szx codec, serve daemon, or the ocelotvet analyzer
-# suite export an undocumented symbol (tools/doccheck).
+# codec registry, szx codec, serve daemon, campaign journal, or the
+# ocelotvet analyzer suite export an undocumented symbol (tools/doccheck).
 doc-check:
 	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
 		./internal/codec ./internal/szx ./internal/serve \
+		./internal/journal \
 		./tools/ocelotvet ./tools/ocelotvet/alloccap \
 		./tools/ocelotvet/poolsafe ./tools/ocelotvet/ctxflow \
 		./tools/ocelotvet/boundres ./tools/ocelotvet/internal/analysis \
@@ -97,6 +109,24 @@ serve-smoke:
 		-fields 8 -shrink 24 -eb 1e-4; \
 	$$tmp/ocelot cancel -server http://127.0.0.1:9177 -id c-2; \
 	$$tmp/ocelot campaigns -server http://127.0.0.1:9177
+
+# Crash-resume smoke through the real CLI: run a journaled campaign, kill
+# it after one sent group, resume from the journal, and check the resumed
+# run reports both the skip and a reconstruction digest. The digest's
+# bit-identity to an uninterrupted run is asserted by the FaultResume
+# artifact and the crash-resume property tests; this target proves the
+# flags wire through the shipped binary.
+resume-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ocelot ./cmd/ocelot; \
+	$$tmp/ocelot campaign -app CESM -fields 4 -shrink 40 -pipeline -groups 4 \
+		-route 'Anvil->Bebop' -timescale 0.05 \
+		-journal $$tmp/run.ocjl -kill-after-groups 1; \
+	$$tmp/ocelot campaign -app CESM -fields 4 -shrink 40 -pipeline -groups 4 \
+		-journal $$tmp/run.ocjl -resume $$tmp/run.ocjl | tee $$tmp/resume.out; \
+	grep -q 'resumed from' $$tmp/resume.out; \
+	grep -q 'recon digest' $$tmp/resume.out; \
+	echo "resume-smoke: ok"
 
 # Planner smoke: train-on-sweep + plan + adaptive campaign on small
 # synthetic fields, so the closed predict-then-transfer loop can't rot.

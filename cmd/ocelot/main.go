@@ -11,7 +11,10 @@
 //	ocelot plan      -app CESM -fields 12 -route Anvil-\>Bebop -min-psnr 70 -codec sz3,szx
 //	ocelot campaign  -adaptive -min-psnr 70 -route Anvil-\>Bebop -codec sz3,szx
 //	ocelot campaign  -pipeline -chunk-mb 0.05 -compress-workers 8 -route Anvil-\>Bebop
+//	ocelot campaign  -pipeline -journal run.ocjl -kill-after-groups 2
+//	ocelot campaign  -pipeline -journal run.ocjl -resume run.ocjl
 //	ocelot serve     -addr :9177 -route Anvil-\>Bebop -tenants climate:2,physics:1
+//	ocelot serve     -addr :9177 -journal-dir /var/lib/ocelot/journals
 //	ocelot submit    -server http://127.0.0.1:9177 -tenant climate -fields 4 -watch
 //	ocelot watch     -server http://127.0.0.1:9177 -id c-1
 //	ocelot cancel    -server http://127.0.0.1:9177 -id c-1
@@ -444,8 +447,14 @@ func cmdCampaign(args []string) error {
 	chunkMB := fs.Float64("chunk-mb", 0, "chunk-parallel compression: raw MB per chunk fanned out over the faas endpoint (0 = monolithic fields)")
 	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers for chunk compression (0 = -workers)")
 	codecList := fs.String("codec", "sz3", "compressor for fixed campaigns; with -adaptive a comma-separated candidate grid (e.g. sz3,szx); valid: "+strings.Join(codec.Names(), ", "))
+	journalPath := fs.String("journal", "", "write a durable campaign journal to this path")
+	resumeFrom := fs.String("resume", "", "resume an interrupted campaign from this journal (typically the -journal path)")
+	killAfter := fs.Int64("kill-after-groups", 0, "crash drill: cancel once this many groups are sent (requires -journal)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *killAfter > 0 && *journalPath == "" {
+		return errors.New("campaign: -kill-after-groups requires -journal")
 	}
 
 	fields, err := campaignFields(*app, *nFields, *shrink, *seed)
@@ -469,6 +478,8 @@ func cmdCampaign(args []string) error {
 		TransferStreams: *streams,
 		ChunkMB:         *chunkMB,
 		CompressWorkers: *compressWorkers,
+		Journal:         *journalPath,
+		ResumeFrom:      *resumeFrom,
 	}
 	if *route != "" {
 		link, ok := wan.StandardLinks()[*route]
@@ -500,11 +511,46 @@ func cmdCampaign(args []string) error {
 		engine = "pipelined"
 		spec.Engine = core.EnginePipelined
 	}
-	res, err := core.Run(ctx, fields, spec)
-	if err != nil {
+	var res *core.CampaignResult
+	if *killAfter > 0 {
+		// Crash drill: run the campaign on a handle, cancel it once the
+		// requested number of groups shipped, and point at the journal the
+		// dead campaign left behind.
+		h, err := core.Submit(ctx, fields, spec)
+		if err != nil {
+			return err
+		}
+		go func() {
+			for {
+				select {
+				case <-h.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				if h.Status().SentGroups >= *killAfter {
+					h.Cancel()
+					return
+				}
+			}
+		}()
+		<-h.Done()
+		if h.State() == core.CampaignCanceled {
+			fmt.Printf("campaign killed after %d sent group(s); journal at %s\n", *killAfter, *journalPath)
+			fmt.Printf("resume with: ocelot campaign <same flags> -journal %s -resume %s\n", *journalPath, *journalPath)
+			return nil
+		}
+		if res, err = h.Result(); err != nil {
+			return err
+		}
+		fmt.Printf("campaign finished before the %d-group kill point\n", *killAfter)
+	} else if res, err = core.Run(ctx, fields, spec); err != nil {
 		return err
 	}
 
+	if res.Resumed {
+		fmt.Printf("resumed from %s: skipped %d already-acked group(s), %.1f MB not resent\n",
+			*resumeFrom, res.SkippedGroups, float64(res.SkippedBytes)/1e6)
+	}
 	fmt.Printf("%s campaign [%s]: %d %s fields, %.1f MB raw -> %.1f MB in %d groups (ratio %.1f)\n",
 		engine, res.Codec, res.Files, *app, float64(res.RawBytes)/1e6,
 		float64(res.GroupedBytes)/1e6, res.Groups, res.Ratio)
@@ -516,6 +562,12 @@ func cmdCampaign(args []string) error {
 		res.WallSec, res.CompressSec, res.PackSec, res.TransferSec, res.DecompressSec)
 	if res.LinkSec > 0 {
 		fmt.Printf("simulated link time: %.2fs over %s\n", res.LinkSec, *route)
+	}
+	if res.Retries > 0 || res.Failovers > 0 {
+		fmt.Printf("fault recovery: %d transient retries, %d endpoint failovers\n", res.Retries, res.Failovers)
+	}
+	if res.ReconDigest != 0 {
+		fmt.Printf("recon digest: %016x\n", res.ReconDigest)
 	}
 	if res.Planned {
 		fmt.Printf("\nplan (%.3fs to decide):\n%s", res.PlanSec, res.Plan.String())

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"ocelot/internal/core"
 	"ocelot/internal/serve"
@@ -34,6 +35,7 @@ func cmdServe(args []string) error {
 	maxPerTenant := fs.Int("max-per-tenant", 0, "max concurrently running campaigns per named tenant (0 = unlimited)")
 	maxRunning := fs.Int("max-running", 8, "max concurrently running campaigns overall")
 	queueDepth := fs.Int("queue-depth", 64, "max queued campaigns before submissions get 429")
+	journalDir := fs.String("journal-dir", "", "journal every campaign under this directory and resume unfinished ones on startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,6 +43,7 @@ func cmdServe(args []string) error {
 	cfg := serve.Config{
 		MaxRunning: *maxRunning,
 		QueueDepth: *queueDepth,
+		JournalDir: *journalDir,
 	}
 	if *route != "" {
 		link, ok := wan.StandardLinks()[*route]
@@ -70,6 +73,15 @@ func cmdServe(args []string) error {
 
 	srv := serve.NewServer(cfg)
 	defer srv.Close()
+	if *journalDir != "" {
+		resumed, errs := srv.Recover()
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "ocelot serve: recover:", e)
+		}
+		if len(resumed) > 0 {
+			fmt.Printf("ocelot serve: resumed %d unfinished campaign(s) from %s\n", len(resumed), *journalDir)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -234,44 +246,92 @@ func cmdCampaigns(args []string) error {
 	return nil
 }
 
+// Reconnect budget for watchJob; vars so tests can tighten the clock.
+var (
+	watchMaxRetries  = 5
+	watchBaseBackoff = 200 * time.Millisecond
+	watchMaxBackoff  = 5 * time.Second
+)
+
 // watchJob streams the daemon's NDJSON watch endpoint, printing one status
-// line per snapshot until the campaign is terminal.
+// line per snapshot until the campaign is terminal. Transient stream drops
+// (a daemon restart, a flaky network) reconnect with exponential backoff
+// from the last seen state; every successfully decoded snapshot refunds
+// the retry budget, so only a stream that stays dead exhausts it.
 func watchJob(server, id string) error {
+	var last serve.JobStatus
+	retries := 0
+	backoff := watchBaseBackoff
+	for {
+		n, err := streamJob(server, id, &last)
+		if err != nil {
+			return err // definitive: HTTP error status or undecodable stream
+		}
+		if last.Terminal {
+			if last.State != "done" {
+				return fmt.Errorf("campaign %s finished %s: %s", id, last.State, last.Error)
+			}
+			return nil
+		}
+		if n > 0 {
+			retries, backoff = 0, watchBaseBackoff
+		}
+		retries++
+		if retries > watchMaxRetries {
+			return fmt.Errorf("watch: lost %s after %d reconnect attempts (last state %q)", id, watchMaxRetries, last.State)
+		}
+		fmt.Fprintf(os.Stderr, "watch: stream dropped (state %q), reconnecting in %v (%d/%d)\n",
+			last.State, backoff, retries, watchMaxRetries)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > watchMaxBackoff {
+			backoff = watchMaxBackoff
+		}
+	}
+}
+
+// streamJob consumes one watch connection, updating *last and printing a
+// line per snapshot, and returns how many snapshots it decoded. A nil
+// error with !last.Terminal means the connection dropped mid-stream —
+// retryable. Non-2xx responses and malformed payloads are definitive.
+func streamJob(server, id string, last *serve.JobStatus) (int, error) {
 	resp, err := http.Get(server + "/v1/campaigns/" + id + "/watch")
 	if err != nil {
-		return err
+		return 0, nil // connection refused: daemon restarting — retryable
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeHTTPError(resp)
+		return 0, decodeHTTPError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
-	var last serve.JobStatus
+	n := 0
 	for sc.Scan() {
-		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
-			return fmt.Errorf("watch: bad status line: %w", err)
+		if err := json.Unmarshal(sc.Bytes(), last); err != nil {
+			return n, fmt.Errorf("watch: bad status line: %w", err)
 		}
-		line := fmt.Sprintf("%s  %-9s", last.ID, last.State)
-		if c := last.Campaign; c != nil {
-			line += fmt.Sprintf("  %6.2fs  %2d/%d groups  %8.2f MB sent", c.ElapsedSec, c.SentGroups, c.Fields, float64(c.SentBytes)/1e6)
-			for _, s := range c.Stages {
-				if s.Name == "transfer" && s.MBps > 0 {
-					line += fmt.Sprintf("  (%.1f MB/s)", s.MBps)
-				}
+		n++
+		printJobStatus(*last)
+		if last.Terminal {
+			return n, nil
+		}
+	}
+	// Scanner errors are mid-stream drops too: reconnect, don't die.
+	return n, nil
+}
+
+func printJobStatus(st serve.JobStatus) {
+	line := fmt.Sprintf("%s  %-9s", st.ID, st.State)
+	if c := st.Campaign; c != nil {
+		line += fmt.Sprintf("  %6.2fs  %2d/%d groups  %8.2f MB sent", c.ElapsedSec, c.SentGroups, c.Fields, float64(c.SentBytes)/1e6)
+		if c.Retries > 0 {
+			line += fmt.Sprintf("  %d retries", c.Retries)
+		}
+		for _, s := range c.Stages {
+			if s.Name == "transfer" && s.MBps > 0 {
+				line += fmt.Sprintf("  (%.1f MB/s)", s.MBps)
 			}
 		}
-		fmt.Println(line)
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if !last.Terminal {
-		return fmt.Errorf("watch: stream ended before %s was terminal (state %s)", id, last.State)
-	}
-	if last.State != "done" {
-		return fmt.Errorf("campaign %s finished %s: %s", id, last.State, last.Error)
-	}
-	return nil
+	fmt.Println(line)
 }
 
 // decodeJobStatus parses a JobStatus response, converting error bodies on

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ocelot/internal/serve"
+)
+
+// fastWatchBackoff shrinks the reconnect clock so the tests run in
+// milliseconds.
+func fastWatchBackoff(t *testing.T) {
+	t.Helper()
+	base, max := watchBaseBackoff, watchMaxBackoff
+	watchBaseBackoff, watchMaxBackoff = time.Millisecond, 2*time.Millisecond
+	t.Cleanup(func() { watchBaseBackoff, watchMaxBackoff = base, max })
+}
+
+// TestWatchJobReconnectsAcrossDrops is the regression for the watch client
+// exiting on a transient stream drop: the first two connections die
+// mid-stream after one snapshot each, the third runs to terminal, and
+// watchJob must ride through all of it and return success.
+func TestWatchJobReconnectsAcrossDrops(t *testing.T) {
+	fastWatchBackoff(t)
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		if n <= 2 {
+			// One live snapshot, then the connection dies mid-stream.
+			_ = enc.Encode(serve.JobStatus{ID: "c-1", State: "running"})
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		_ = enc.Encode(serve.JobStatus{ID: "c-1", State: "running"})
+		_ = enc.Encode(serve.JobStatus{ID: "c-1", State: "done", Terminal: true})
+	}))
+	defer ts.Close()
+
+	if err := watchJob(ts.URL, "c-1"); err != nil {
+		t.Fatalf("watchJob did not survive stream drops: %v", err)
+	}
+	if got := conns.Load(); got != 3 {
+		t.Errorf("watch connections = %d, want 3 (two drops + one clean run)", got)
+	}
+}
+
+// TestWatchJobBoundedRetries: a stream that never yields a snapshot
+// exhausts the reconnect budget instead of looping forever.
+func TestWatchJobBoundedRetries(t *testing.T) {
+	fastWatchBackoff(t)
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	if err := watchJob(ts.URL, "c-1"); err == nil {
+		t.Fatal("watchJob returned success from a stream that never produced a snapshot")
+	}
+	if got := conns.Load(); got != int32(watchMaxRetries)+1 {
+		t.Errorf("watch connections = %d, want %d (initial + budget)", got, watchMaxRetries+1)
+	}
+}
+
+// TestWatchJobTerminalFailure: a campaign that finishes failed surfaces
+// the failure as an error, not a silent success.
+func TestWatchJobTerminalFailure(t *testing.T) {
+	fastWatchBackoff(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serve.JobStatus{ID: "c-1", State: "failed", Terminal: true, Error: "boom"})
+	}))
+	defer ts.Close()
+
+	if err := watchJob(ts.URL, "c-1"); err == nil {
+		t.Fatal("watchJob reported success for a failed campaign")
+	}
+}

@@ -83,6 +83,18 @@ type CampaignResult struct {
 	OverlapSec float64
 	Stages     []StageTiming
 
+	// Fault-tolerance accounting (populated when the spec journals,
+	// resumes, or retries — see CampaignSpec.Journal/ResumeFrom/Retry).
+	// ReconDigest is also populated for journaled and resumed campaigns: a
+	// resumed campaign folds the journal's recorded digests for skipped
+	// fields with fresh digests for re-executed ones, reproducing the
+	// uninterrupted run's digest bit for bit.
+	Resumed       bool  // this run resumed from a journal
+	SkippedGroups int   // journal-acked groups the resume did not re-execute
+	SkippedBytes  int64 // their archive bytes — work the resume skipped
+	Retries       int   // transient retries across transfer sends and fan-out
+	Failovers     int   // endpoint failovers across transfer sends
+
 	// Planner accounting (populated by RunPlannedCampaign): the plan's
 	// predictions beside the measured outcome, so every adaptive run
 	// reports predicted vs. actual.

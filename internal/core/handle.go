@@ -78,6 +78,10 @@ type CampaignStatus struct {
 	// far.
 	SentGroups int64 `json:"sentGroups"`
 	SentBytes  int64 `json:"sentBytes"`
+	// Retries and Failovers count transient-failure recoveries so far (zero
+	// unless the spec carries a retry policy or fallback transports).
+	Retries   int64 `json:"retries,omitempty"`
+	Failovers int64 `json:"failovers,omitempty"`
 	// Stages is the live per-stage timing/throughput ledger (nil until the
 	// stage graph starts).
 	Stages []StageTiming `json:"stages,omitempty"`
@@ -239,6 +243,8 @@ func (c *Campaign) Status() CampaignStatus {
 		RawBytes:   c.rawBytes,
 		SentGroups: c.progress.sentGroups.Load(),
 		SentBytes:  c.progress.sentBytes.Load(),
+		Retries:    c.progress.retries.Load(),
+		Failovers:  c.progress.failovers.Load(),
 	}
 	end := c.now()
 	if state.Terminal() && !finished.IsZero() {

@@ -14,8 +14,10 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
+	"ocelot/internal/journal"
 	"ocelot/internal/metrics"
 	"ocelot/internal/pipeline"
+	"ocelot/internal/sentinel"
 	"ocelot/internal/sz"
 )
 
@@ -81,6 +83,20 @@ type campaignMode struct {
 	// weight > 0 ships archives via SendWeighted on weighted transports, so
 	// a multi-tenant scheduler can give campaigns proportional link shares.
 	weight float64
+	// journalPath, when non-empty, persists a durable manifest
+	// (internal/journal) of every packed/sent/acked group; resumePath names
+	// the journal a resumed campaign loads; journalMeta is stamped into the
+	// begin record; manifest is the loaded resume state (runSpec fills it
+	// when resumePath is set).
+	journalPath string
+	resumePath  string
+	journalMeta map[string]string
+	manifest    *journal.Manifest
+	// retry and fallbacks make the transfer stage (and the chunk fan-out)
+	// fault-tolerant: transient errors retry with exponential backoff, and
+	// an exhausted or permanently failed transport fails over to the next.
+	retry     sentinel.RetryPolicy
+	fallbacks []Transport
 	// observe, when set, receives the run's pipeline group right after
 	// creation — the campaign handle uses it to serve live Stats snapshots.
 	observe func(*pipeline.Group)
@@ -93,6 +109,8 @@ type campaignMode struct {
 type campaignProgress struct {
 	sentBytes  atomic.Int64 // archive bytes accepted by the transport
 	sentGroups atomic.Int64 // archives shipped so far
+	retries    atomic.Int64 // transient retries across transfer + fan-out
+	failovers  atomic.Int64 // endpoint failovers across sends
 }
 
 // chunkMode derives the chunk fan-out portion of a campaignMode from the
@@ -198,6 +216,13 @@ type packState struct {
 	compressedBytes int64
 	groupedBytes    int64
 	nextID          int
+	// idOffset is the first group id of this incarnation: resumed campaigns
+	// number new groups after the journal's MaxGroupID so ids stay unique
+	// across incarnations.
+	idOffset int
+	// journal, when set, durably records each packed group before it is
+	// offered to the transport.
+	journal *journal.Writer
 }
 
 func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
@@ -215,6 +240,11 @@ func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
 	ps.groupBytes = append(ps.groupBytes, int64(len(arch)))
 	g := packedGroup{id: ps.nextID, idxs: idxs, archive: arch}
 	ps.nextID++
+	if ps.journal != nil {
+		if err := ps.journal.Group(g.id, idxs, byteDigest(arch), int64(len(arch))); err != nil {
+			return err
+		}
+	}
 	return emit(g)
 }
 
@@ -269,9 +299,11 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 
 	res := &CampaignResult{Files: len(fields), Pipelined: mode.pipelined, Codec: globalCodec}
 	absEBs := make([]float64, len(fields))
+	relEBs := make([]float64, len(fields))
 	ranges := make([]float64, len(fields))
 	preds := make([]sz.Predictor, len(fields))
 	codecs := make([]codec.Codec, len(fields))
+	codecNames := make([]string, len(fields))
 	byName := make(map[string]int, len(fields))
 	ps := &packState{names: make([]string, len(fields)), streams: make(map[int][]byte)}
 	for i, f := range fields {
@@ -309,8 +341,94 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			res.Codec = "mixed"
 		}
 		absEBs[i] = relEB * r
+		relEBs[i] = relEB
+		codecNames[i] = codecName
 		ps.names[i] = f.ID() + ".sz"
 		byName[ps.names[i]] = i
+	}
+
+	// Fault-tolerance bookkeeping. The spec fingerprint guards resumes: a
+	// journal written under one spec refuses to resume under another. The
+	// manifest (when resuming) tells us which fields acked groups already
+	// cover — only the rest is re-executed — and the journal writer records
+	// this incarnation's progress durably before each step proceeds.
+	journaling := mode.journalPath != "" || mode.manifest != nil
+	var hash string
+	if journaling {
+		hash = specFingerprint(fields, mode, strategy, param, opts.RelErrorBound, opts.Predictor, globalCodec)
+	}
+	reconDigests := make([]uint64, len(fields))
+	missing := make([]int, 0, len(fields))
+	if m := mode.manifest; m != nil {
+		if len(m.Fields) != len(fields) {
+			return nil, fmt.Errorf("core: journal records %d fields, campaign has %d", len(m.Fields), len(fields))
+		}
+		for i, fp := range m.Fields {
+			if fp.Name != ps.names[i] {
+				return nil, fmt.Errorf("core: journal field %d is %q, campaign has %q", i, fp.Name, ps.names[i])
+			}
+		}
+		if err := m.CheckSpec(hash); err != nil {
+			return nil, fmt.Errorf("core: resume %s: %w", mode.resumePath, err)
+		}
+		done, doneDigests := m.DoneFields()
+		copy(reconDigests, doneDigests)
+		for i := range fields {
+			if !done[i] {
+				missing = append(missing, i)
+			}
+		}
+		ps.idOffset = m.MaxGroupID() + 1
+		ps.nextID = ps.idOffset
+		res.Resumed = true
+		res.SkippedGroups = m.AckedGroups()
+		res.SkippedBytes = m.AckedBytes()
+	} else {
+		for i := range fields {
+			missing = append(missing, i)
+		}
+	}
+
+	var jw *journal.Writer
+	if mode.journalPath != "" {
+		if mode.manifest != nil && mode.journalPath == mode.resumePath {
+			// Resumed incarnation extending its own journal: append-only.
+			if jw, err = journal.OpenAppend(mode.journalPath); err == nil {
+				err = jw.Resume()
+			}
+		} else {
+			plans := make([]journal.FieldPlan, len(fields))
+			for i := range fields {
+				plans[i] = journal.FieldPlan{Name: ps.names[i], RelEB: relEBs[i],
+					Predictor: int(preds[i]), Codec: codecNames[i]}
+			}
+			if jw, err = journal.Create(mode.journalPath); err == nil {
+				err = jw.Begin(hash, mode.engineName(), int(strategy), param, plans, mode.journalMeta)
+			}
+			if err == nil && mode.manifest != nil {
+				// Resume journaling to a new path: replay the acked state so
+				// the fresh journal stands alone.
+				err = replayAcked(jw, mode.manifest)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: journal %s: %w", mode.journalPath, err)
+		}
+		defer jw.Close()
+	}
+	ps.journal = jw
+
+	if len(missing) == 0 {
+		// Every field was acked before this incarnation started: nothing to
+		// re-execute. The digest fold over the journal's recorded digests is
+		// identical to the uninterrupted campaign's.
+		if jw != nil {
+			if err := jw.Done(); err != nil {
+				return nil, fmt.Errorf("core: journal %s: %w", mode.journalPath, err)
+			}
+		}
+		res.ReconDigest = foldDigests(reconDigests)
+		return res, nil
 	}
 
 	wallStart := now()
@@ -319,14 +437,11 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		mode.observe(g)
 	}
 
-	idxs := make([]int, len(fields))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	src := pipeline.Emit(g, buffer, idxs)
+	src := pipeline.Emit(g, buffer, missing)
 
 	var fan *chunkFanout
 	var totalChunks atomic.Int64
+	var retriesTotal, failoversTotal atomic.Int64
 	if mode.chunkBytes > 0 {
 		var err error
 		if fan, err = newChunkFanout(mode.endpoint); err != nil {
@@ -348,8 +463,17 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 				// onto the endpoint and assembles the completions; the
 				// endpoint's worker pool is the actual compression
 				// parallelism. The chunk tasks carry the field's codec.
-				var n int
-				stream, n, err = fan.compressField(ctx, fields[i], codecs[i], cfg, mode.chunkBytes)
+				// Transient fabric failures retry under the campaign policy.
+				var n, r int
+				r, err = mode.retry.Do(ctx, func(ctx context.Context) error {
+					var cerr error
+					stream, n, cerr = fan.compressField(ctx, fields[i], codecs[i], cfg, mode.chunkBytes)
+					return cerr
+				})
+				retriesTotal.Add(int64(r))
+				if mode.progress != nil && r > 0 {
+					mode.progress.retries.Add(int64(r))
+				}
 				totalChunks.Add(int64(n))
 			case codecs[i].Name() == sz.CodecName:
 				// The sz3 path keeps its richer Config (predictor choice,
@@ -366,22 +490,43 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			return compressedItem{idx: i, name: ps.names[i], stream: stream}, nil
 		})
 
-	packed := packStage(g, compress, ps, mode, strategy, param, len(fields), buffer)
+	packed := packStage(g, compress, ps, mode, strategy, param, missing, buffer)
 
-	// Weighted transports carry the campaign's fair-share weight on every
-	// send, so concurrent campaigns from different tenants split a shared
-	// link in proportion to their weights instead of equally.
-	sendArchive := mode.transport.Send
-	if wt, ok := mode.transport.(WeightedTransport); ok && mode.weight > 0 {
-		sendArchive = func(ctx context.Context, name string, data []byte) (float64, error) {
+	// Transfer with retry + failover: transient errors (link flaps, outage
+	// windows) retry in place with exponential backoff, and when the primary
+	// transport's budget is spent — or it fails permanently — the send moves
+	// to the next fallback endpoint under the same policy. Weighted
+	// transports carry the campaign's fair-share weight on every attempt so
+	// concurrent campaigns split a shared link proportionally. Progress
+	// counters advance only on success, so a retried send never
+	// double-counts SentBytes.
+	transports := append([]Transport{mode.transport}, mode.fallbacks...)
+	send := func(ctx context.Context, tr Transport, name string, data []byte) (float64, error) {
+		if wt, ok := tr.(WeightedTransport); ok && mode.weight > 0 {
 			return wt.SendWeighted(ctx, name, data, mode.weight)
 		}
+		return tr.Send(ctx, name, data)
 	}
 	var linkMu sync.Mutex
 	var linkSec float64
 	sent := pipeline.Stage(g, pipeline.Config{Name: "transfer", Workers: mode.transferStreams, Buffer: buffer}, packed,
 		func(ctx context.Context, pg packedGroup) (sentGroup, error) {
-			sec, err := sendArchive(ctx, fmt.Sprintf("group-%04d.ocgr", pg.id), pg.archive)
+			name := fmt.Sprintf("group-%04d.ocgr", pg.id)
+			var sec float64
+			r, f, err := sentinel.Failover(ctx, mode.retry, len(transports),
+				func(ctx context.Context, ep int) error {
+					s, sendErr := send(ctx, transports[ep], name, pg.archive)
+					if sendErr == nil {
+						sec = s
+					}
+					return sendErr
+				})
+			retriesTotal.Add(int64(r))
+			failoversTotal.Add(int64(f))
+			if mode.progress != nil {
+				mode.progress.retries.Add(int64(r))
+				mode.progress.failovers.Add(int64(f))
+			}
 			if err != nil {
 				return sentGroup{}, err
 			}
@@ -391,6 +536,11 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			if mode.progress != nil {
 				mode.progress.sentBytes.Add(int64(len(pg.archive)))
 				mode.progress.sentGroups.Add(1)
+			}
+			if jw != nil {
+				if jerr := jw.Sent(pg.id); jerr != nil {
+					return sentGroup{}, jerr
+				}
 			}
 			return sentGroup{packedGroup: pg, linkSec: sec}, nil
 		})
@@ -414,7 +564,10 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			})
 	}
 
-	reconDigests := make([]uint64, len(fields))
+	// Fan-out campaigns pay the digest pass to prove worker-count
+	// invariance; journaled/resumed campaigns pay it so a resumed half can
+	// be compared digest-for-digest with an uninterrupted run.
+	digestOn := mode.chunkBytes > 0 || journaling
 	verified := pipeline.Stage(g, pipeline.Config{Name: "decompress", Workers: workers, Buffer: buffer}, sent,
 		func(ctx context.Context, sg sentGroup) (verifiedGroup, error) {
 			members, err := grouping.Unpack(sg.archive)
@@ -439,11 +592,8 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 					return verifiedGroup{}, fmt.Errorf("core: %s: dims mismatch", m.Name)
 				}
 				// Each field is verified exactly once, so writing its slot
-				// is race-free across decompress workers. Only fan-out
-				// campaigns pay the digest pass — it exists to prove
-				// worker-count invariance, and monolithic runs should not
-				// carry its cost in the verify stage.
-				if mode.chunkBytes > 0 {
+				// is race-free across decompress workers.
+				if digestOn {
 					reconDigests[i] = reconDigest(recon)
 				}
 				maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
@@ -460,6 +610,19 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 						return verifiedGroup{}, err
 					}
 					out.minPSNR = math.Min(out.minPSNR, p)
+				}
+			}
+			if jw != nil {
+				// The group is now verified end to end — durable at the
+				// destination. Record its per-member recon digests (parallel
+				// to the group's journal members, which are sg.idxs) so a
+				// resume can fold them without redoing the field.
+				acks := make([]uint64, len(sg.idxs))
+				for k, i := range sg.idxs {
+					acks[k] = reconDigests[i]
+				}
+				if err := jw.Ack(sg.id, acks); err != nil {
+					return verifiedGroup{}, err
 				}
 			}
 			return out, nil
@@ -482,20 +645,36 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	if mode.measurePSNR {
 		res.MinPSNR = minPSNR
 	}
-	if verifiedFiles != len(fields) {
-		return nil, fmt.Errorf("core: %d members after grouping, want %d", verifiedFiles, len(fields))
+	if verifiedFiles != len(missing) {
+		return nil, fmt.Errorf("core: %d members after grouping, want %d", verifiedFiles, len(missing))
+	}
+
+	if jw != nil {
+		if err := jw.Done(); err != nil {
+			return nil, fmt.Errorf("core: journal %s: %w", mode.journalPath, err)
+		}
 	}
 
 	res.CompressedBytes = ps.compressedBytes
 	res.GroupedBytes = ps.groupedBytes
 	res.Groups = len(ps.plan)
 	res.GroupBytes = ps.groupBytes
-	res.Ratio = float64(res.RawBytes) / float64(res.CompressedBytes)
+	// The ratio rates the work this incarnation actually did: for a resume
+	// that is the missing fields' raw bytes over their compressed bytes.
+	var procRaw int64
+	for _, i := range missing {
+		procRaw += int64(fields[i].RawBytes())
+	}
+	if res.CompressedBytes > 0 {
+		res.Ratio = float64(procRaw) / float64(res.CompressedBytes)
+	}
 	res.Metadata = grouping.Metadata(ps.names, ps.plan, strategy)
 	res.LinkSec = linkSec
 	res.Chunks = int(totalChunks.Load())
 	res.CompressWorkers = mode.compressWorkers
-	if mode.chunkBytes > 0 {
+	res.Retries = int(retriesTotal.Load())
+	res.Failovers = int(failoversTotal.Load())
+	if digestOn {
 		res.ReconDigest = foldDigests(reconDigests)
 	}
 
@@ -566,15 +745,18 @@ func foldDigests(digests []uint64) uint64 {
 	return h
 }
 
-// packStage wires the grouping stage. Both modes run as a single-worker
-// Reduce; they differ in when groups are emitted.
+// packStage wires the grouping stage over the active field subset (all
+// fields on a fresh run, the journal's missing fields on a resume). Both
+// modes run as a single-worker Reduce; they differ in when groups are
+// emitted.
 func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode campaignMode,
-	strategy grouping.Strategy, param int64, nFields, buffer int) <-chan packedGroup {
+	strategy grouping.Strategy, param int64, active []int, buffer int) <-chan packedGroup {
 	cfg := pipeline.Config{Name: "pack", Buffer: buffer}
+	nFields := len(active)
 
 	if !mode.pipelined {
 		// Barrier: hold every stream, then group exactly as the classic
-		// path does (round-robin plan over the full inventory).
+		// path does (round-robin plan over the active inventory).
 		return pipeline.Reduce(g, cfg, in,
 			func(ctx context.Context, it compressedItem, emit func(packedGroup) error) error {
 				ps.streams[it.idx] = it.stream
@@ -583,14 +765,18 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 			},
 			func(ctx context.Context, emit func(packedGroup) error) error {
 				sizes := make([]int64, nFields)
-				for i := 0; i < nFields; i++ {
-					sizes[i] = int64(len(ps.streams[i]))
+				for j, i := range active {
+					sizes[j] = int64(len(ps.streams[i]))
 				}
 				plan, err := grouping.Plan(sizes, strategy, param)
 				if err != nil {
 					return err
 				}
-				for _, idxs := range plan {
+				for _, pos := range plan {
+					idxs := make([]int, len(pos))
+					for k, p := range pos {
+						idxs[k] = active[p]
+					}
 					if err := ps.emitGroup(idxs, emit); err != nil {
 						return err
 					}
@@ -645,7 +831,7 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 			ps.streams[it.idx] = it.stream
 			cur = append(cur, it.idx)
 			curBytes += size
-			if want := groupSize(ps.nextID); want > 0 && len(cur) == want {
+			if want := groupSize(ps.nextID - ps.idOffset); want > 0 && len(cur) == want {
 				return flushCur(emit)
 			}
 			return nil

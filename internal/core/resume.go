@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strconv"
+
+	"ocelot/internal/datagen"
+	"ocelot/internal/grouping"
+	"ocelot/internal/journal"
+	"ocelot/internal/sz"
+)
+
+// engineName names the executing engine for journal begin records and the
+// spec fingerprint.
+func (m campaignMode) engineName() string {
+	switch {
+	case m.sequential:
+		return "sequential"
+	case m.pipelined:
+		return "pipelined"
+	default:
+		return "barrier"
+	}
+}
+
+// specFingerprint hashes the facts a resume must not change: the engine, the
+// grouping knobs, the campaign-level compression settings, the fan-out
+// granularity, and the dataset's field identities. Per-field planned
+// settings are deliberately excluded — a resumed adaptive campaign pins them
+// from the journal's own begin record, which this fingerprint guards.
+func specFingerprint(fields []*datagen.Field, mode campaignMode, strategy grouping.Strategy,
+	param int64, relEB float64, pred sz.Predictor, codecName string) string {
+	h := uint64(fnvOffset64)
+	add := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+		// Token separator so adjacent tokens cannot alias ("ab"+"c" ≠ "a"+"bc").
+		h ^= 0x1f
+		h *= fnvPrime64
+	}
+	add("ocjl-v1")
+	add(mode.engineName())
+	add(strconv.Itoa(int(strategy)))
+	add(strconv.FormatInt(param, 10))
+	add(strconv.FormatFloat(relEB, 'g', -1, 64))
+	add(strconv.Itoa(int(pred)))
+	add(codecName)
+	add(strconv.FormatInt(mode.chunkBytes, 10))
+	if mode.perField != nil {
+		add("planned")
+	}
+	for _, f := range fields {
+		add(f.ID())
+		for _, d := range f.Dims {
+			add(strconv.Itoa(d))
+		}
+	}
+	return journal.FormatDigest(h)
+}
+
+// byteDigest hashes raw bytes with the same FNV-64a the recon digests use;
+// the journal stores one per packed archive so a resumed incarnation's
+// bookkeeping can tell a re-packed group from a recorded one.
+func byteDigest(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// replayAcked copies a prior incarnation's acked groups into a fresh
+// journal, so a resume writing to a NEW path produces a journal that stands
+// alone — a later resume needs only that file.
+func replayAcked(jw *journal.Writer, m *journal.Manifest) error {
+	for _, g := range m.SortedGroups() {
+		if !g.Acked {
+			continue
+		}
+		if err := jw.Group(g.ID, g.Members, g.ArchiveDigest, g.Bytes); err != nil {
+			return err
+		}
+		if err := jw.Sent(g.ID); err != nil {
+			return err
+		}
+		if err := jw.Ack(g.ID, g.Digests); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -10,8 +10,10 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
+	"ocelot/internal/journal"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
+	"ocelot/internal/sentinel"
 	"ocelot/internal/sz"
 )
 
@@ -126,6 +128,33 @@ type CampaignSpec struct {
 	// from the campaign context when unset.
 	Planner planner.Options
 
+	// Journal, when non-empty, is the path of a durable campaign manifest
+	// (internal/journal): every packed, sent, and verified group is recorded
+	// with write+fsync before the campaign proceeds, so a crashed or
+	// canceled campaign can later be resumed from exactly what completed.
+	// Journaling also enables the per-field reconstruction digest pass
+	// (CampaignResult.ReconDigest).
+	Journal string
+	// ResumeFrom, when non-empty, loads an existing journal and re-executes
+	// only the fields no acked group covers, reproducing the uninterrupted
+	// campaign's ReconDigest. The journal's spec fingerprint must match this
+	// spec (journal.ErrSpecMismatch otherwise). Usually set equal to Journal
+	// so the resumed incarnation extends the same file.
+	ResumeFrom string
+	// JournalMeta is caller bookkeeping stamped into the journal's begin
+	// record — the serve daemon stores the original submit request here so
+	// its recovery pass can reconstruct campaigns from journals alone.
+	JournalMeta map[string]string
+	// Retry tunes transient-failure retry with exponential backoff for the
+	// transfer stage and the chunk fan-out. The zero value keeps fail-fast
+	// semantics (a single attempt).
+	Retry sentinel.RetryPolicy
+	// FallbackTransports are failover endpoints: when the primary Transport
+	// exhausts its retry budget — or fails permanently — each fallback is
+	// tried in order under the same policy. The terminal error is a
+	// classified *sentinel.PermanentError.
+	FallbackTransports []Transport
+
 	// Now injects a clock for tests; nil = time.Now.
 	Now func() time.Time
 }
@@ -203,6 +232,11 @@ func (s CampaignSpec) mode() campaignMode {
 		compressWorkers: cw,
 		endpoint:        ep,
 		weight:          s.TransportWeight,
+		journalPath:     s.Journal,
+		resumePath:      s.ResumeFrom,
+		journalMeta:     s.JournalMeta,
+		retry:           s.Retry,
+		fallbacks:       s.FallbackTransports,
 	}
 }
 
@@ -248,6 +282,17 @@ func PlanSpec(fields []*datagen.Field, spec CampaignSpec) (*planner.Plan, error)
 func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
 	mode campaignMode, planning func()) (*CampaignResult, error) {
 	opts := spec.legacyOptions()
+	if spec.ResumeFrom != "" {
+		m, err := journal.Load(spec.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if len(m.Fields) != len(fields) {
+			return nil, fmt.Errorf("core: journal %s records %d fields, campaign has %d",
+				spec.ResumeFrom, len(m.Fields), len(fields))
+		}
+		mode.manifest = m
+	}
 	if !spec.Adaptive {
 		return runCampaign(ctx, fields, opts, mode)
 	}
@@ -260,7 +305,28 @@ func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
 		planning()
 	}
 	planStart := now()
-	plan, err := PlanSpec(fields, spec)
+	var plan *planner.Plan
+	var err error
+	if m := mode.manifest; m != nil {
+		// Resumed adaptive campaign: execution settings are pinned from the
+		// journal's begin record — never re-planned, so the resumed half is
+		// byte-compatible with the completed half. The plan pass only
+		// re-prices the REMAINING work (Done mask) so predicted-vs-actual
+		// stays meaningful for the resume itself.
+		opts.GroupStrategy = grouping.Strategy(m.Strategy)
+		opts.GroupParam = m.GroupParam
+		settings := make([]fieldSetting, len(m.Fields))
+		for i, fp := range m.Fields {
+			settings[i] = fieldSetting{relEB: fp.RelEB, predictor: sz.Predictor(fp.Predictor), codec: fp.Codec}
+		}
+		mode.perField = settings
+		mode.measurePSNR = true
+		popts := spec.resolvedPlanner()
+		popts.Done, _ = m.DoneFields()
+		plan, err = planner.Build(fields, spec.Model, popts)
+	} else {
+		plan, err = PlanSpec(fields, spec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -271,14 +337,16 @@ func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
 		return nil, err
 	}
 
-	opts.GroupStrategy = plan.GroupStrategy
-	opts.GroupParam = plan.GroupParam
-	settings := make([]fieldSetting, len(plan.Fields))
-	for i, fp := range plan.Fields {
-		settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor, codec: fp.Codec}
+	if mode.manifest == nil {
+		opts.GroupStrategy = plan.GroupStrategy
+		opts.GroupParam = plan.GroupParam
+		settings := make([]fieldSetting, len(plan.Fields))
+		for i, fp := range plan.Fields {
+			settings[i] = fieldSetting{relEB: fp.RelEB, predictor: fp.Predictor, codec: fp.Codec}
+		}
+		mode.perField = settings
+		mode.measurePSNR = true
 	}
-	mode.perField = settings
-	mode.measurePSNR = true
 
 	res, err := runCampaign(ctx, fields, opts, mode)
 	if err != nil {

@@ -103,6 +103,15 @@ type SimulatedWANTransport struct {
 	active int           // sends currently admitted to the link
 	weight float64       // summed fair-share weight of admitted sends
 	change chan struct{} // closed and replaced whenever membership changes
+
+	// Fault-injection state, initialised lazily from Link.Faults on the
+	// first send: the injector evaluates the schedule against this
+	// transport's simulated clock (seconds since epoch, wall time divided
+	// by Timescale).
+	faultOnce sync.Once
+	injector  *wan.Injector
+	faultErr  error
+	epoch     time.Time
 }
 
 // Name implements Transport.
@@ -120,6 +129,30 @@ func (t *SimulatedWANTransport) StreamHint() int {
 		return 0
 	}
 	return t.Link.Concurrency
+}
+
+// initFaults builds the injector (once) when the link carries a fault
+// schedule, anchoring the simulated clock at the first send.
+func (t *SimulatedWANTransport) initFaults() error {
+	t.faultOnce.Do(func() {
+		t.epoch = time.Now()
+		if t.Link.Faults != nil {
+			t.injector, t.faultErr = wan.NewInjector(t.Link.Faults)
+		}
+	})
+	return t.faultErr
+}
+
+// simNow is the transport's simulated clock: wall seconds since the first
+// send divided by the timescale, so a fault window of [10s, 20s) covers
+// the same simulated span whatever the compression factor. Accounting-only
+// transports (negative scale) have no advancing clock and report 0 — only
+// the probabilistic flap errors apply there.
+func (t *SimulatedWANTransport) simNow(scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	return time.Since(t.epoch).Seconds() / scale
 }
 
 // bump wakes every send waiting on a membership change. Callers hold mu.
@@ -195,11 +228,29 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 	if scale == 0 {
 		scale = 1
 	}
+	if err := t.initFaults(); err != nil {
+		return 0, err
+	}
 	if scale < 0 {
 		// Accounting only: no sleeping means sends never overlap in wall
 		// time, so each is charged as the fluid model would charge a lone
-		// send — the full link share.
+		// send — the full link share. Probabilistic flap errors still
+		// apply (the fast way for tests to exercise the retry path);
+		// scheduled windows do not, as there is no advancing clock.
+		if err := t.injector.SendError(0); err != nil {
+			return 0, err
+		}
 		return t.Link.PerFileOverheadSec + float64(len(data))/1e6/t.Link.BandwidthMBps, ctx.Err()
+	}
+
+	// Fault check before admission: a send attempted during an outage (or
+	// losing the flap coin toss) fails without consuming a link channel,
+	// exactly like a connection that never establishes. A send already
+	// mid-flight when an outage window opens is NOT killed — established
+	// streams ride out short control-plane blips; dips (below) model the
+	// data-plane degradation.
+	if err := t.injector.SendError(t.simNow(scale)); err != nil {
+		return 0, err
 	}
 
 	if err := t.admit(ctx, weight); err != nil {
@@ -220,8 +271,15 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 		if share > 1 || share <= 0 {
 			share = 1
 		}
-		rate := t.Link.BandwidthMBps * share // MB per simulated second
+		simStart := t.simNow(scale)
+		// Bandwidth dips scale the whole link while their window is open;
+		// the pacing quantum is capped at the next dip boundary so the
+		// degraded rate applies exactly on schedule.
+		rate := t.Link.BandwidthMBps * share * t.injector.RateFactor(simStart) // MB per simulated second
 		need := remainingMB / rate
+		if next := t.injector.NextChange(simStart); next-simStart < need {
+			need = next - simStart
+		}
 		start := time.Now()
 		timer := time.NewTimer(time.Duration(need * scale * float64(time.Second)))
 		select {
@@ -230,7 +288,10 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 			return 0, ctx.Err()
 		case <-timer.C:
 			simSec += need
-			remainingMB = 0
+			remainingMB -= need * rate
+			if remainingMB < 1e-12 {
+				remainingMB = 0
+			}
 		case <-ch:
 			timer.Stop()
 			elapsedSim := time.Since(start).Seconds() / scale

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"ocelot/internal/sentinel"
+	"ocelot/internal/wan"
+)
+
+func TestSimulatedWANOutageTransient(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link: &wan.Link{Name: "flappy", BandwidthMBps: 100, Concurrency: 4,
+			Faults: &wan.Faults{Outages: []wan.FaultWindow{{StartSec: 0, EndSec: 1e9}}}},
+		Timescale: 1e-3,
+	}
+	_, err := tr.Send(context.Background(), "g", make([]byte, 1000))
+	var fe *wan.FaultError
+	if !errors.As(err, &fe) || fe.Reason != "outage" {
+		t.Fatalf("want outage FaultError, got %v", err)
+	}
+	if !sentinel.IsTransient(err) {
+		t.Fatal("outage must classify transient")
+	}
+}
+
+func TestSimulatedWANFlapAccountingMode(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link: &wan.Link{Name: "flappy", BandwidthMBps: 100, Concurrency: 4,
+			Faults: &wan.Faults{SendErrProb: 0.5, Seed: 3}},
+		Timescale: -1,
+	}
+	flaps := 0
+	for i := 0; i < 100; i++ {
+		if _, err := tr.Send(context.Background(), "g", make([]byte, 10)); err != nil {
+			if !sentinel.IsTransient(err) {
+				t.Fatalf("flap not transient: %v", err)
+			}
+			flaps++
+		}
+	}
+	if flaps < 25 || flaps > 75 {
+		t.Fatalf("flap count %d implausible for p=0.5", flaps)
+	}
+}
+
+func TestSimulatedWANDipSlowsSend(t *testing.T) {
+	// A dip to 25% covering the entire send should quadruple the simulated
+	// link seconds of a lone send: 1 MB at 100 MB/s is 0.01 s clean, 0.04 s
+	// dipped.
+	clean := &SimulatedWANTransport{
+		Link:      &wan.Link{Name: "clean", BandwidthMBps: 100, Concurrency: 4},
+		Timescale: 1e-2,
+	}
+	dipped := &SimulatedWANTransport{
+		Link: &wan.Link{Name: "dipped", BandwidthMBps: 100, Concurrency: 4,
+			Faults: &wan.Faults{Dips: []wan.BandwidthDip{
+				{FaultWindow: wan.FaultWindow{StartSec: 0, EndSec: 1e9}, Factor: 0.25}}}},
+		Timescale: 1e-2,
+	}
+	data := make([]byte, 1e6)
+	secClean, err := clean.Send(context.Background(), "g", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secDipped, err := dipped.Send(context.Background(), "g", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := secDipped / secClean; math.Abs(ratio-4) > 0.5 {
+		t.Fatalf("dip factor 0.25 should ~4x the send: clean=%.4fs dipped=%.4fs ratio=%.2f",
+			secClean, secDipped, ratio)
+	}
+}
+
+func TestSimulatedWANInvalidFaultsRejected(t *testing.T) {
+	tr := &SimulatedWANTransport{
+		Link: &wan.Link{Name: "bad", BandwidthMBps: 100, Concurrency: 4,
+			Faults: &wan.Faults{SendErrProb: 2}},
+		Timescale: -1,
+	}
+	if _, err := tr.Send(context.Background(), "g", []byte{1}); err == nil {
+		t.Fatal("invalid fault schedule accepted")
+	}
+}

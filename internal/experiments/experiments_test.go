@@ -381,3 +381,30 @@ func TestServeFairness(t *testing.T) {
 		t.Error("artifact text missing the fairness line")
 	}
 }
+
+func TestFaultResume(t *testing.T) {
+	res, err := FaultResume(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver already hard-fails on a digest mismatch; the values here
+	// are the acceptance bars the artifact publishes.
+	if res.Values["digest_match"] != 1 {
+		t.Error("resumed campaign did not reproduce the uninterrupted digest")
+	}
+	if f := res.Values["resent_fraction"]; f >= 0.5 {
+		t.Errorf("resume re-sent %.0f%% of the campaign's bytes, acceptance is < 50%%", f*100)
+	}
+	if res.Values["flap_retries"] <= 0 {
+		t.Error("flap leg reported no retries")
+	}
+	if a := res.Values["permfail_attempts"]; a != 1 {
+		t.Errorf("permanent failure took %.0f attempts to classify, want 1", a)
+	}
+	if s := res.Values["permfail_sends"]; s != 1 {
+		t.Errorf("permanently failing endpoint saw %.0f sends, want exactly 1", s)
+	}
+	if !strings.Contains(res.Text, "recon digest") {
+		t.Error("artifact text missing the digest line")
+	}
+}

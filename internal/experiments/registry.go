@@ -40,6 +40,7 @@ func Drivers() []Driver {
 		{"CodecShootout", CodecShootout},
 		{"HotPath", HotPath},
 		{"ServeFairness", ServeFairness},
+		{"FaultResume", FaultResume},
 	}
 }
 

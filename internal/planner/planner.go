@@ -146,6 +146,14 @@ type Options struct {
 	// it from their endpoint configuration so the plan prices the fabric
 	// the chunks will actually cross.
 	ChunkDispatchSec float64
+	// Done marks fields already completed by a previous incarnation (one
+	// entry per field; nil means none). Done fields are excluded from the
+	// wall model, the grouping decision, and every campaign-level
+	// prediction — a resumed campaign's plan prices only the remaining
+	// work. Their FieldPlan entries carry Done: true and no candidate
+	// decision: on resume the engine pins their settings from the journal,
+	// never from a fresh plan.
+	Done []bool
 }
 
 // DefaultChunkOverheadFrac is the planner's default fractional chunking
@@ -171,6 +179,9 @@ type FieldPlan struct {
 	// Fallback marks a decision made without (or against) the model: an
 	// untrained predictor, or no candidate meeting the quality floor.
 	Fallback bool `json:"fallback,omitempty"`
+	// Done marks a field completed by a previous incarnation
+	// (Options.Done): no decision was made and no cost was priced.
+	Done bool `json:"done,omitempty"`
 }
 
 // Plan is a complete campaign decision: per-field configurations plus the
@@ -223,6 +234,9 @@ func (p *Plan) String() string {
 		note := ""
 		if fp.Fallback {
 			note = "  (fallback)"
+		}
+		if fp.Done {
+			note = "  (done)"
 		}
 		pred := "-"
 		if fp.Codec == "" || fp.Codec == codec.DefaultName {
@@ -287,6 +301,9 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 		return nil, errors.New("planner: no fields")
 	}
 	opts = opts.withDefaults()
+	if opts.Done != nil && len(opts.Done) != len(fields) {
+		return nil, fmt.Errorf("planner: %d done marks for %d fields", len(opts.Done), len(fields))
+	}
 	cands, err := feasibleCandidates(opts)
 	if err != nil {
 		return nil, err
@@ -324,8 +341,17 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 	predSizes := make([]int64, len(fields))
 	for i, f := range fields {
 		raw := int64(f.RawBytes())
-		plan.RawBytes += raw
 		fp := FieldPlan{Field: f.ID(), RawBytes: raw}
+
+		if opts.Done != nil && opts.Done[i] {
+			// Already completed by a previous incarnation: record the field
+			// so the plan's shape matches the campaign, but price nothing —
+			// the resume's wall model covers only the remaining work.
+			fp.Done = true
+			plan.Fields[i] = fp
+			continue
+		}
+		plan.RawBytes += raw
 
 		if !canScore || !canFloor {
 			// No usable model: most conservative candidate, no predictions.
@@ -411,20 +437,32 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 	// with a field's divisibility limited by its chunk count — a monolithic
 	// wide field floors the wall at its own duration, chunking lifts that
 	// floor (the tentpole win on wide endpoints).
-	secs := make([]float64, len(plan.Fields))
-	chunks := make([]int, len(plan.Fields))
+	secs := make([]float64, 0, len(plan.Fields))
+	chunks := make([]int, 0, len(plan.Fields))
+	remSizes := make([]int64, 0, len(plan.Fields))
 	for i, fp := range plan.Fields {
+		if fp.Done {
+			continue
+		}
 		plan.PredBytes += fp.PredBytes
-		secs[i] = fp.PredSec
-		chunks[i] = len(sz.PlanChunksBytes(fields[i].Dims, opts.ChunkBytes, fields[i].ElementSize))
+		secs = append(secs, fp.PredSec)
+		nChunks := len(sz.PlanChunksBytes(fields[i].Dims, opts.ChunkBytes, fields[i].ElementSize))
+		chunks = append(chunks, nChunks)
+		remSizes = append(remSizes, predSizes[i])
 		if opts.ChunkBytes > 0 {
 			// Monolithic plans keep Chunks at 0: the artifact field means
 			// "fan-out chunks", not "one pseudo-chunk per field".
-			plan.Chunks += chunks[i]
+			plan.Chunks += nChunks
 		}
 	}
 	plan.Workers = opts.Workers
 	plan.ChunkBytes = opts.ChunkBytes
+	if len(remSizes) == 0 {
+		// Everything already done: a degenerate resume plan with nothing to
+		// price and nothing to group.
+		plan.GroupParam = 1
+		return plan, nil
+	}
 	dispatch := 0.0
 	if opts.ChunkBytes > 0 {
 		dispatch = opts.ChunkDispatchSec
@@ -433,7 +471,7 @@ func Build(fields []*datagen.Field, model *quality.Model, opts Options) (*Plan, 
 	if plan.PredBytes > 0 {
 		plan.PredRatio = float64(plan.RawBytes) / float64(plan.PredBytes)
 	}
-	if err := decideGrouping(plan, predSizes, opts); err != nil {
+	if err := decideGrouping(plan, remSizes, opts); err != nil {
 		return nil, err
 	}
 	return plan, nil

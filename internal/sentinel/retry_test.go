@@ -1,0 +1,168 @@
+package sentinel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep is a test sleeper that records backoffs instead of waiting.
+func noSleep(log *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*log = append(*log, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetryTransientSucceeds(t *testing.T) {
+	var backoffs []time.Duration
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond, Sleep: noSleep(&backoffs)}
+	calls := 0
+	retries, err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 4 {
+			return MarkTransient(errors.New("flap"))
+		}
+		return nil
+	})
+	if err != nil || retries != 3 || calls != 4 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+	// Exponential growth, capped: 10, 20, 40 (the cap).
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(backoffs) != len(want) {
+		t.Fatalf("backoffs: %v", backoffs)
+	}
+	for i := range want {
+		if backoffs[i] != want[i] {
+			t.Fatalf("backoff %d = %v, want %v", i, backoffs[i], want[i])
+		}
+	}
+}
+
+func TestRetryPermanentFailsFast(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5}
+	calls := 0
+	boom := errors.New("corrupt archive")
+	retries, err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || retries != 0 || calls != 1 {
+		t.Fatalf("permanent error retried: retries=%d calls=%d err=%v", retries, calls, err)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var backoffs []time.Duration
+	p := RetryPolicy{MaxAttempts: 3, Sleep: noSleep(&backoffs)}
+	calls := 0
+	retries, err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return MarkTransient(errors.New("flap"))
+	})
+	if err == nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+	if !IsTransient(err) {
+		t.Fatalf("exhausted error should still classify transient: %v", err)
+	}
+}
+
+func TestRetryCancellationNotTransient(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := RetryPolicy{MaxAttempts: 5}
+	calls := 0
+	_, err := p.Do(ctx, func(ctx context.Context) error {
+		calls++
+		return MarkTransient(ctx.Err())
+	})
+	if calls != 1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled op retried: calls=%d err=%v", calls, err)
+	}
+	if IsTransient(context.Canceled) || IsTransient(MarkTransient(context.Canceled)) {
+		t.Fatal("context cancellation must never classify transient")
+	}
+}
+
+func TestFailoverOrderAndCounts(t *testing.T) {
+	var backoffs []time.Duration
+	p := RetryPolicy{MaxAttempts: 2, Sleep: noSleep(&backoffs)}
+	var tried []int
+	retries, failovers, err := Failover(context.Background(), p, 3,
+		func(ctx context.Context, ep int) error {
+			tried = append(tried, ep)
+			if ep < 2 {
+				return MarkTransient(errors.New("down"))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Endpoints 0 and 1 each burn 2 attempts, endpoint 2 succeeds.
+	if retries != 2 || failovers != 2 {
+		t.Fatalf("retries=%d failovers=%d", retries, failovers)
+	}
+	want := []int{0, 0, 1, 1, 2}
+	if len(tried) != len(want) {
+		t.Fatalf("tried: %v", tried)
+	}
+	for i := range want {
+		if tried[i] != want[i] {
+			t.Fatalf("attempt %d hit endpoint %d, want %d", i, tried[i], want[i])
+		}
+	}
+}
+
+func TestFailoverPermanentSkipsRetries(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4}
+	calls := 0
+	_, failovers, err := Failover(context.Background(), p, 2,
+		func(ctx context.Context, ep int) error {
+			calls++
+			return errors.New("permanent")
+		})
+	if calls != 2 || failovers != 1 {
+		t.Fatalf("permanent endpoint errors should fail over without retries: calls=%d failovers=%d", calls, failovers)
+	}
+	var pe *PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("terminal error not classified: %v", err)
+	}
+	if pe.Transient || pe.Attempts != 2 || pe.Endpoints != 2 {
+		t.Fatalf("classification: %+v", pe)
+	}
+}
+
+func TestFailoverExhaustedTransient(t *testing.T) {
+	var backoffs []time.Duration
+	p := RetryPolicy{MaxAttempts: 2, Sleep: noSleep(&backoffs)}
+	_, _, err := Failover(context.Background(), p, 2,
+		func(ctx context.Context, ep int) error {
+			return MarkTransient(errors.New("flap"))
+		})
+	var pe *PermanentError
+	if !errors.As(err, &pe) || !pe.Transient || pe.Attempts != 4 {
+		t.Fatalf("exhausted classification: %v", err)
+	}
+}
+
+func TestFailoverCancellationReturnsBare(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{MaxAttempts: 3}
+	_, _, err := Failover(ctx, p, 3, func(ctx context.Context, ep int) error {
+		cancel()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want bare context.Canceled, got %v", err)
+	}
+	var pe *PermanentError
+	if errors.As(err, &pe) {
+		t.Fatal("cancellation must not be wrapped as a permanent failure")
+	}
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ocelot/internal/core"
+	"ocelot/internal/sentinel"
+	"ocelot/internal/wan"
+)
+
+// TestServeFaultStressSharedFlappingLink pushes 32 concurrent campaigns
+// through the scheduler over ONE shared link that drops a quarter of all
+// sends, with a retry budget that absorbs the flaps. Run under -race this
+// is the daemon's fault-tolerance torture test. It asserts the three
+// properties that must survive the chaos:
+//
+//   - every campaign still reaches a terminal done state;
+//   - retries never double-count progress — each job's observed SentBytes
+//     equals its result's GroupedBytes exactly;
+//   - aggregate throughput stays within the shared link's bandwidth, i.e.
+//     failed attempts never consume simulated link capacity.
+func TestServeFaultStressSharedFlappingLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-campaign fault stress")
+	}
+	const (
+		campaigns = 32
+		bwMBps    = 50.0
+		scale     = 1.0
+	)
+	link := &wan.Link{
+		Name:          "flap",
+		BandwidthMBps: bwMBps,
+		Concurrency:   4,
+		Faults:        &wan.Faults{SendErrProb: 0.25, Seed: 11},
+	}
+	sched := NewScheduler(Config{
+		Transport:  &core.SimulatedWANTransport{Link: link, Timescale: scale},
+		MaxRunning: 8,
+		QueueDepth: campaigns,
+	})
+	defer sched.Close()
+
+	// One shared read-only dataset keeps memory flat across 32 campaigns.
+	fields := testFields(t, 2)
+	spec := core.CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         2,
+		GroupParam:      2,
+		TransferStreams: 2,
+		Retry: sentinel.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+		},
+	}
+
+	start := time.Now()
+	jobs := make([]*Job, 0, campaigns)
+	for i := 0; i < campaigns; i++ {
+		j, err := sched.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), Fields: fields, Spec: spec})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("job %s did not complete: %v", j.ID(), err)
+		}
+	}
+	wallSec := time.Since(start).Seconds()
+
+	var totalSent, totalRetries int64
+	for _, j := range jobs {
+		res, err := j.Result()
+		if err != nil {
+			t.Fatalf("job %s failed: %v", j.ID(), err)
+		}
+		st := j.Status()
+		if st.State != "done" || st.Campaign == nil {
+			t.Fatalf("job %s terminal state %q with campaign %v", j.ID(), st.State, st.Campaign)
+		}
+		if st.Campaign.SentBytes != res.GroupedBytes {
+			t.Errorf("job %s: observed SentBytes %d != GroupedBytes %d — a retry double-counted progress",
+				j.ID(), st.Campaign.SentBytes, res.GroupedBytes)
+		}
+		if int(st.Campaign.Retries) != res.Retries {
+			t.Errorf("job %s: status retries %d != result retries %d", j.ID(), st.Campaign.Retries, res.Retries)
+		}
+		totalSent += st.Campaign.SentBytes
+		totalRetries += st.Campaign.Retries
+	}
+	if totalRetries == 0 {
+		t.Error("no retries across 32 campaigns on a quarter-drop link — fault injection not reaching the retry path")
+	}
+
+	// Failed attempts are rejected before pacing, so even with a quarter of
+	// sends retried the aggregate rate must respect the shared link.
+	simSec := wallSec / scale
+	throughput := float64(totalSent) / 1e6 / simSec
+	if throughput > bwMBps*1.02 {
+		t.Errorf("aggregate throughput %.1f MB/s exceeds shared link bandwidth %.1f MB/s", throughput, bwMBps)
+	}
+	t.Logf("32 campaigns, %d retries, %.1f MB aggregate in %.1fs sim (%.1f MB/s on a %.0f MB/s link)",
+		totalRetries, float64(totalSent)/1e6, simSec, throughput, bwMBps)
+}

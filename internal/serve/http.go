@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"ocelot/internal/core"
 	"ocelot/internal/datagen"
+	"ocelot/internal/journal"
 	"ocelot/internal/sz"
 )
 
@@ -209,6 +212,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Priority: req.Priority,
 		Fields:   fields,
 		Spec:     spec,
+		Meta:     submitMeta(req),
 	})
 	if err != nil {
 		status := http.StatusBadRequest
@@ -219,6 +223,93 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// metaSubmit is the journal-meta key under which the daemon stores the
+// original submit request, so Recover can rebuild a campaign's fields and
+// spec from its journal alone.
+const metaSubmit = "submit"
+
+// submitMeta serializes the submit request into journal metadata. The
+// request already round-tripped through the decoder, so marshalling cannot
+// fail; a nil map keeps un-journaled schedulers meta-free.
+func submitMeta(req SubmitRequest) map[string]string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil
+	}
+	return map[string]string{metaSubmit: string(b)}
+}
+
+// Recover scans the scheduler's journal directory for campaigns a previous
+// daemon incarnation left unfinished and re-submits each one as a resume:
+// the new job re-executes only the groups its journal never acked and
+// reproduces the original campaign's ReconDigest. Journals marked done are
+// left alone; unreadable or foreign journals (no stored submit request) are
+// reported in errs and skipped. No-op unless Config.JournalDir was set.
+func (s *Server) Recover() (resumed []*Job, errs []error) {
+	dir := s.sched.cfg.JournalDir
+	if dir == "" {
+		return nil, nil
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*", "*.ocjl"))
+	if err != nil {
+		return nil, []error{err}
+	}
+	sort.Strings(paths)
+	// Push the id counter past every journal on disk — done or not — so a
+	// fresh submission never stamps a path that truncates old state.
+	for _, path := range paths {
+		var id int64
+		if _, err := fmt.Sscanf(filepath.Base(path), "c-%d.ocjl", &id); err == nil {
+			s.sched.advanceID(id)
+		}
+	}
+	for _, path := range paths {
+		m, err := journal.Load(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: recover %s: %w", path, err))
+			continue
+		}
+		if m.Done {
+			continue
+		}
+		raw, ok := m.Meta[metaSubmit]
+		if !ok {
+			errs = append(errs, fmt.Errorf("serve: recover %s: journal has no stored submit request", path))
+			continue
+		}
+		var req SubmitRequest
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			errs = append(errs, fmt.Errorf("serve: recover %s: stored submit request: %w", path, err))
+			continue
+		}
+		spec, err := req.Spec.Campaign()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: recover %s: %w", path, err))
+			continue
+		}
+		fields, err := GenerateFields(req.App, req.Fields, req.Shrink, req.Seed)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: recover %s: %w", path, err))
+			continue
+		}
+		spec.Journal = path
+		spec.ResumeFrom = path
+		spec.JournalMeta = m.Meta
+		job, err := s.sched.Submit(Request{
+			Tenant:   req.Tenant,
+			Priority: req.Priority,
+			Fields:   fields,
+			Spec:     spec,
+		})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: recover %s: %w", path, err))
+			continue
+		}
+		resumed = append(resumed, job)
+	}
+	return resumed, errs
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -71,6 +72,11 @@ type Config struct {
 	// cancel the whole scheduler from outside; nil means a private root
 	// that only Close cancels.
 	BaseContext context.Context
+	// JournalDir, when non-empty, gives every submitted campaign a durable
+	// journal at <JournalDir>/<tenant>/<id>.ocjl (unless the spec already
+	// names one), so a daemon restarted after a crash can resume unfinished
+	// campaigns from exactly what completed (Server.Recover).
+	JournalDir string
 }
 
 // Request is one campaign submission.
@@ -84,6 +90,11 @@ type Request struct {
 	// Spec describes the campaign; TransportWeight and Transport are
 	// overridden by the scheduler (shared link, tenant weight).
 	Spec core.CampaignSpec
+	// Meta is caller bookkeeping stamped into the campaign journal's begin
+	// record when the scheduler journals (Config.JournalDir). The HTTP
+	// server stores the original submit request here so Recover can rebuild
+	// the campaign's fields and spec from the journal alone.
+	Meta map[string]string
 }
 
 // JobStatus is the JSON snapshot of one scheduled campaign.
@@ -342,6 +353,10 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	s.nextID++
 	ts := s.tenantLocked(tenant)
 	spec.TransportWeight = ts.weight()
+	if s.cfg.JournalDir != "" && spec.Journal == "" {
+		spec.Journal = filepath.Join(s.cfg.JournalDir, tenant, fmt.Sprintf("c-%d.ocjl", s.nextID))
+		spec.JournalMeta = req.Meta
+	}
 	j := &Job{
 		id:        fmt.Sprintf("c-%d", s.nextID),
 		tenant:    tenant,
@@ -370,6 +385,17 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 
 	s.dispatchLocked()
 	return j, nil
+}
+
+// advanceID moves the job-id counter past id, so a recovered daemon's
+// fresh submissions never reuse (and truncate) a previous incarnation's
+// journal paths.
+func (s *Scheduler) advanceID(id int64) {
+	s.mu.Lock()
+	if id > s.nextID {
+		s.nextID = id
+	}
+	s.mu.Unlock()
 }
 
 // dispatchLocked starts queued jobs while global capacity and tenant

@@ -1,0 +1,178 @@
+package wan
+
+// Fault injection for the simulated WAN: scheduled outages, bandwidth
+// dips, and a per-send error probability, all deterministic under a seeded
+// RNG. The retry/failover path in the campaign engine is exercised against
+// these faults in tests and in the FaultResume artifact — a link flap must
+// surface as a *transient* error (retryable), never as a silent stall.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// FaultWindow is a half-open interval [StartSec, EndSec) on the link's
+// simulated clock (seconds since the transport's first send).
+type FaultWindow struct {
+	// StartSec is when the fault begins.
+	StartSec float64
+	// EndSec is when the fault ends; must be > StartSec.
+	EndSec float64
+}
+
+// contains reports whether the window covers simulated time t.
+func (w FaultWindow) contains(t float64) bool {
+	return t >= w.StartSec && t < w.EndSec
+}
+
+// BandwidthDip degrades the link to Factor × bandwidth inside a window —
+// the "congested backbone" scenario, as opposed to an outage's hard down.
+type BandwidthDip struct {
+	FaultWindow
+	// Factor scales the link bandwidth inside the window; (0, 1].
+	Factor float64
+}
+
+// Faults describes the fault schedule injected into a link. The zero value
+// (and a nil pointer) injects nothing.
+type Faults struct {
+	// Outages are windows during which every send attempt fails with a
+	// transient *FaultError (the link is hard down).
+	Outages []FaultWindow
+	// Dips are windows during which the link's bandwidth is scaled by the
+	// dip's Factor. Overlapping dips multiply.
+	Dips []BandwidthDip
+	// SendErrProb is the probability, per send attempt, of a transient
+	// flap error drawn from the seeded RNG; [0, 1).
+	SendErrProb float64
+	// Seed makes the per-send error draws deterministic.
+	Seed int64
+}
+
+// Validate checks the fault schedule.
+func (f *Faults) Validate() error {
+	if f == nil {
+		return nil
+	}
+	for i, w := range f.Outages {
+		if w.EndSec <= w.StartSec || w.StartSec < 0 {
+			return fmt.Errorf("wan: outage %d window [%g, %g) invalid", i, w.StartSec, w.EndSec)
+		}
+	}
+	for i, d := range f.Dips {
+		if d.EndSec <= d.StartSec || d.StartSec < 0 {
+			return fmt.Errorf("wan: dip %d window [%g, %g) invalid", i, d.StartSec, d.EndSec)
+		}
+		if d.Factor <= 0 || d.Factor > 1 {
+			return fmt.Errorf("wan: dip %d factor %g outside (0, 1]", i, d.Factor)
+		}
+	}
+	if f.SendErrProb < 0 || f.SendErrProb >= 1 {
+		return fmt.Errorf("wan: send error probability %g outside [0, 1)", f.SendErrProb)
+	}
+	return nil
+}
+
+// FaultError is the transient error an injected fault raises. It
+// implements the Transient marker the retry layer classifies on, so a flap
+// is retried while a real transport bug is not.
+type FaultError struct {
+	// Reason describes the fault ("outage", "flap").
+	Reason string
+	// AtSec is the simulated link time of the failed attempt.
+	AtSec float64
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("wan: injected %s at t=%.3fs", e.Reason, e.AtSec)
+}
+
+// Transient marks injected faults retryable (sentinel.IsTransient).
+func (e *FaultError) Transient() bool { return true }
+
+// ErrNoFaults is returned by NewInjector when given a nil schedule; most
+// callers should simply skip building an injector instead.
+var ErrNoFaults = errors.New("wan: no fault schedule")
+
+// Injector evaluates a fault schedule against the link's simulated clock.
+// It is safe for concurrent use: the seeded RNG behind SendErrProb is
+// mutex-protected, so concurrent transfer streams draw a deterministic
+// global sequence (the *set* of failed sends depends on arrival order, but
+// the failure rate and the schedule windows do not).
+type Injector struct {
+	faults Faults
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+// NewInjector builds an injector for a validated fault schedule.
+func NewInjector(f *Faults) (*Injector, error) {
+	if f == nil {
+		return nil, ErrNoFaults
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{faults: *f, rng: rand.New(rand.NewSource(f.Seed))}, nil
+}
+
+// SendError reports the fault, if any, that kills a send attempted at
+// simulated time t: an outage window covering t, or a flap drawn from the
+// seeded RNG with probability SendErrProb. A nil injector never faults.
+func (in *Injector) SendError(t float64) error {
+	if in == nil {
+		return nil
+	}
+	for _, w := range in.faults.Outages {
+		if w.contains(t) {
+			return &FaultError{Reason: "outage", AtSec: t}
+		}
+	}
+	if p := in.faults.SendErrProb; p > 0 {
+		in.mu.Lock()
+		hit := in.rng.Float64() < p
+		in.mu.Unlock()
+		if hit {
+			return &FaultError{Reason: "flap", AtSec: t}
+		}
+	}
+	return nil
+}
+
+// RateFactor returns the bandwidth multiplier active at simulated time t:
+// 1 outside every dip, the product of overlapping dip factors inside.
+func (in *Injector) RateFactor(t float64) float64 {
+	if in == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, d := range in.faults.Dips {
+		if d.contains(t) {
+			factor *= d.Factor
+		}
+	}
+	return factor
+}
+
+// NextChange returns the earliest dip boundary strictly after t, or
+// math.Inf(1) when the rate never changes again. A pacing loop caps its
+// sleep quantum at this horizon so bandwidth dips take effect exactly on
+// schedule instead of whenever membership happens to churn.
+func (in *Injector) NextChange(t float64) float64 {
+	next := math.Inf(1)
+	if in == nil {
+		return next
+	}
+	for _, d := range in.faults.Dips {
+		for _, b := range [2]float64{d.StartSec, d.EndSec} {
+			if b > t && b < next {
+				next = b
+			}
+		}
+	}
+	return next
+}

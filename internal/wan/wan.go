@@ -31,6 +31,11 @@ type Link struct {
 	// JitterFrac adds deterministic pseudo-random per-file bandwidth jitter
 	// (0 disables). Jitter is seeded per transfer for reproducibility.
 	JitterFrac float64
+	// Faults, when non-nil, injects scheduled outages, bandwidth dips, and
+	// per-send flap errors into transports that pace over this link (see
+	// Faults). The estimate and event-loop paths ignore it: faults model
+	// the live retry path, not the planning model.
+	Faults *Faults
 }
 
 // Validate checks link parameters.
@@ -49,6 +54,9 @@ func (l *Link) Validate() error {
 	// produce infinite or negative transfer costs.
 	if l.JitterFrac < 0 || l.JitterFrac >= 1 {
 		return fmt.Errorf("wan: jitter fraction %g outside [0, 1)", l.JitterFrac)
+	}
+	if err := l.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

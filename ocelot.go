@@ -29,9 +29,11 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/dtree"
 	"ocelot/internal/faas"
+	"ocelot/internal/journal"
 	"ocelot/internal/metrics"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
+	"ocelot/internal/sentinel"
 	"ocelot/internal/sz"
 	"ocelot/internal/wan"
 )
@@ -285,6 +287,46 @@ func Run(ctx context.Context, fields []*Field, spec CampaignSpec) (*CampaignResu
 func Submit(ctx context.Context, fields []*Field, spec CampaignSpec) (*Campaign, error) {
 	return core.Submit(ctx, fields, spec)
 }
+
+// --- Fault tolerance: journal, retry, fault injection ---
+
+// RetryPolicy bounds transient-failure retries with exponential backoff;
+// set it on CampaignSpec.Retry to let transfer sends and chunk fan-out
+// survive link flaps. See also CampaignSpec.FallbackTransports for
+// endpoint failover.
+type RetryPolicy = sentinel.RetryPolicy
+
+// PermanentError is the classified terminal failure a retried operation
+// surfaces once its budget (and every fallback endpoint) is exhausted —
+// or immediately, when the underlying error is not transient.
+type PermanentError = sentinel.PermanentError
+
+// MarkTransient classifies an error as retryable for RetryPolicy.
+func MarkTransient(err error) error { return sentinel.MarkTransient(err) }
+
+// LinkFaults schedules deterministic fault injection on a wan.Link:
+// outage windows, bandwidth dips, and a seeded per-send error
+// probability. Set it on Link.Faults to exercise campaign retry paths
+// under a simulated flapping WAN.
+type LinkFaults = wan.Faults
+
+// FaultWindow is one scheduled outage in simulated link time.
+type FaultWindow = wan.FaultWindow
+
+// BandwidthDip is one scheduled bandwidth reduction in simulated link
+// time.
+type BandwidthDip = wan.BandwidthDip
+
+// CampaignJournal is a loaded campaign journal manifest: which groups
+// were packed, sent, and acked, and the per-field plan the campaign ran
+// under. Campaigns write one when CampaignSpec.Journal is set and resume
+// from one via CampaignSpec.ResumeFrom.
+type CampaignJournal = journal.Manifest
+
+// LoadCampaignJournal reads and folds a journal file written by a
+// journaled campaign. Unreadable or torn journals (beyond a torn final
+// line, which is tolerated) return journal.ErrCorrupt.
+func LoadCampaignJournal(path string) (*CampaignJournal, error) { return journal.Load(path) }
 
 // --- Campaigns (deprecated option structs and entry points) ---
 

@@ -11,10 +11,13 @@
 //   - BENCH_serve.json — the ServeFairness artifact: the multi-tenant
 //     scheduler's Jain fairness index, per-tenant and aggregate MB/s on
 //     one shared link, and mid-stage cancellation latency.
+//   - BENCH_resume.json — the FaultResume artifact: crash-resume digest
+//     identity, resume wall vs full-rerun wall, resent-bytes fraction,
+//     flap-retry counts, and permanent-failure fail-fast attempts.
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json]
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json] [-resume-out BENCH_resume.json]
 //
 // Passing an empty string for either output path skips that artifact. The
 // Makefile's bench-json target is the canonical invocation.
@@ -95,6 +98,7 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_codecs.json", "codec shootout output path (empty = skip)")
 	hotOut := fs.String("hotpath-out", "BENCH_hotpath.json", "entropy hot-path output path (empty = skip)")
 	serveOut := fs.String("serve-out", "BENCH_serve.json", "multi-tenant serve fairness output path (empty = skip)")
+	resumeOut := fs.String("resume-out", "BENCH_resume.json", "fault-tolerance crash-resume output path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +129,15 @@ func run(args []string) error {
 			*serveOut, len(res.Values), res.Values["jain"],
 			res.Values["aggregate_mbps"], res.Values["link_mbps"],
 			res.Values["cancel_latency_sec"])
+	}
+	if *resumeOut != "" {
+		res, err := writeArtifact(experiments.FaultResume, *resumeOut, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (resume %.3fs vs full %.3fs, resent %.0f%%, %d flap retries)\n",
+			*resumeOut, len(res.Values), res.Values["resume_wall_sec"], res.Values["full_wall_sec"],
+			res.Values["resent_fraction"]*100, int(res.Values["flap_retries"]))
 	}
 	return nil
 }

@@ -50,6 +50,7 @@ var Targets = map[string]map[string]bool{
 		"ocelot/internal/huffman":  true,
 		"ocelot/internal/lossless": true,
 		"ocelot/internal/codec":    true,
+		"ocelot/internal/journal":  true,
 	},
 	"ctxflow": {
 		"ocelot/internal/pipeline": true,
