@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-hotpath bench-serve bench-resume fuzz-smoke lint cover tier1 plan-smoke serve-smoke resume-smoke doc-check
+.PHONY: build test race bench bench-json bench-hotpath bench-serve bench-resume bench-obs fuzz-smoke lint cover tier1 plan-smoke serve-smoke resume-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -21,24 +21,33 @@ bench:
 # BENCH_hotpath.json), the ServeFairness artifact (multi-tenant scheduler
 # fairness/throughput/cancel latency → BENCH_serve.json), and the
 # FaultResume artifact (crash-resume digest identity, resent-bytes
-# fraction, flap retries → BENCH_resume.json), so all perf trajectories
-# are tracked as diffable files.
+# fraction, flap retries → BENCH_resume.json), and the ObsOverhead
+# artifact (instrumented-but-disabled vs baseline campaign wall →
+# BENCH_obs.json), so all perf trajectories are tracked as diffable
+# files.
 bench-json:
 	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json \
 		-hotpath-out BENCH_hotpath.json -serve-out BENCH_serve.json \
-		-resume-out BENCH_resume.json
+		-resume-out BENCH_resume.json -obs-out BENCH_obs.json
 
 # Multi-tenant serve load test alone: regenerates BENCH_serve.json (Jain
 # fairness index, per-tenant and aggregate MB/s, cancel latency).
 bench-serve:
 	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
-		-serve-out BENCH_serve.json -resume-out ''
+		-serve-out BENCH_serve.json -resume-out '' -obs-out ''
 
 # Fault-tolerance artifact alone: regenerates BENCH_resume.json (resume
 # wall vs full-rerun wall, resent-bytes fraction, retry/fail-fast counts).
 bench-resume:
 	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
-		-serve-out '' -resume-out BENCH_resume.json
+		-serve-out '' -resume-out BENCH_resume.json -obs-out ''
+
+# Observability-overhead artifact alone: regenerates BENCH_obs.json
+# (instrumented-but-disabled vs baseline wall, acceptance < 2%, plus
+# span/metric coverage from one enabled run).
+bench-obs:
+	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
+		-serve-out '' -resume-out '' -obs-out BENCH_obs.json
 
 # Entropy hot-path throughput benchmarks in smoke mode: compile and run
 # each once so the tracked figures cannot rot between bench-json refreshes.
@@ -61,7 +70,7 @@ fuzz-smoke:
 
 # Static gate: gofmt, go vet, and the project's own invariant analyzers
 # (tools/ocelotvet — alloc caps, pool discipline, context flow, bound
-# resolution; see ARCHITECTURE.md "Enforced invariants"). staticcheck and
+# resolution, span discipline; see ARCHITECTURE.md "Enforced invariants"). staticcheck and
 # govulncheck run when installed; the container image does not bake them
 # in, so they are advisory locally and real wherever they exist.
 lint:
@@ -88,10 +97,11 @@ tier1:
 doc-check:
 	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
 		./internal/codec ./internal/szx ./internal/serve \
-		./internal/journal \
+		./internal/journal ./internal/obs \
 		./tools/ocelotvet ./tools/ocelotvet/alloccap \
 		./tools/ocelotvet/poolsafe ./tools/ocelotvet/ctxflow \
-		./tools/ocelotvet/boundres ./tools/ocelotvet/internal/analysis \
+		./tools/ocelotvet/boundres ./tools/ocelotvet/spanend \
+		./tools/ocelotvet/internal/analysis \
 		./tools/ocelotvet/internal/load
 
 # Daemon round-trip smoke: start `ocelot serve`, submit a campaign over

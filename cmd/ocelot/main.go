@@ -29,7 +29,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	rpprof "runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,11 +43,26 @@ import (
 	"ocelot/internal/dataio"
 	"ocelot/internal/dtree"
 	"ocelot/internal/metrics"
+	"ocelot/internal/obs"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
 	"ocelot/internal/sz"
 	"ocelot/internal/wan"
 )
+
+// writeTraceFile creates path and streams a trace export into it,
+// propagating both the exporter's and Close's error.
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -450,11 +468,43 @@ func cmdCampaign(args []string) error {
 	journalPath := fs.String("journal", "", "write a durable campaign journal to this path")
 	resumeFrom := fs.String("resume", "", "resume an interrupted campaign from this journal (typically the -journal path)")
 	killAfter := fs.Int64("kill-after-groups", 0, "crash drill: cancel once this many groups are sent (requires -journal)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON trace of the campaign (load in chrome://tracing or Perfetto)")
+	traceNDJSON := fs.String("trace-ndjson", "", "write the campaign's span trace as NDJSON, one span per line")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *killAfter > 0 && *journalPath == "" {
 		return errors.New("campaign: -kill-after-groups requires -journal")
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("campaign: cpuprofile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("campaign: cpuprofile: %w", err)
+		}
+		defer func() {
+			rpprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	fields, err := campaignFields(*app, *nFields, *shrink, *seed)
@@ -487,6 +537,33 @@ func cmdCampaign(args []string) error {
 			return fmt.Errorf("campaign: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
 		}
 		spec.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
+	}
+
+	// Tracing requested: wire a live tracer (and a registry, so the result
+	// also carries the inline metrics snapshot) into the spec, and flush
+	// the exports however the run ends.
+	var tracer *obs.Tracer
+	if *tracePath != "" || *traceNDJSON != "" {
+		tracer = obs.NewTracer()
+		spec.Obs = &obs.Obs{Tracer: tracer, Metrics: obs.NewRegistry()}
+	}
+	exportTraces := func() error {
+		if tracer == nil {
+			return nil
+		}
+		if *tracePath != "" {
+			if err := writeTraceFile(*tracePath, tracer.WriteChrome); err != nil {
+				return fmt.Errorf("campaign: trace: %w", err)
+			}
+			fmt.Printf("trace: %d spans -> %s (chrome://tracing)\n", len(tracer.Spans()), *tracePath)
+		}
+		if *traceNDJSON != "" {
+			if err := writeTraceFile(*traceNDJSON, tracer.WriteNDJSON); err != nil {
+				return fmt.Errorf("campaign: trace-ndjson: %w", err)
+			}
+			fmt.Printf("trace: %d spans -> %s (ndjson)\n", len(tracer.Spans()), *traceNDJSON)
+		}
+		return nil
 	}
 
 	ctx := context.Background()
@@ -537,13 +614,16 @@ func cmdCampaign(args []string) error {
 		if h.State() == core.CampaignCanceled {
 			fmt.Printf("campaign killed after %d sent group(s); journal at %s\n", *killAfter, *journalPath)
 			fmt.Printf("resume with: ocelot campaign <same flags> -journal %s -resume %s\n", *journalPath, *journalPath)
-			return nil
+			return exportTraces()
 		}
 		if res, err = h.Result(); err != nil {
 			return err
 		}
 		fmt.Printf("campaign finished before the %d-group kill point\n", *killAfter)
 	} else if res, err = core.Run(ctx, fields, spec); err != nil {
+		return err
+	}
+	if err := exportTraces(); err != nil {
 		return err
 	}
 

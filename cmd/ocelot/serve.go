@@ -6,10 +6,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -36,6 +38,7 @@ func cmdServe(args []string) error {
 	maxRunning := fs.Int("max-running", 8, "max concurrently running campaigns overall")
 	queueDepth := fs.Int("queue-depth", 64, "max queued campaigns before submissions get 429")
 	journalDir := fs.String("journal-dir", "", "journal every campaign under this directory and resume unfinished ones on startup")
+	debugAddr := fs.String("debug-addr", "", "loopback address serving net/http/pprof and expvar (e.g. 127.0.0.1:6060; empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +97,22 @@ func cmdServe(args []string) error {
 		<-ctx.Done()
 		httpSrv.Close()
 	}()
+	if *debugAddr != "" {
+		// Profiling endpoints live on their own listener — typically
+		// loopback — so operators can expose the campaign API without also
+		// exposing heap dumps and CPU profiles.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("serve: debug listener: %w", err)
+		}
+		dbgSrv := &http.Server{Handler: debugMux()}
+		go func() { _ = dbgSrv.Serve(dln) }()
+		go func() {
+			<-ctx.Done()
+			dbgSrv.Close()
+		}()
+		fmt.Printf("ocelot serve: debug endpoints (/debug/pprof, /debug/vars) on %s\n", dln.Addr())
+	}
 	fmt.Printf("ocelot serve: listening on %s (route %s, %d tenants configured)\n",
 		ln.Addr(), orDash(*route), len(cfg.Tenants))
 	if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -108,6 +127,20 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// debugMux assembles the profiling mux: the standard net/http/pprof
+// handlers plus expvar, mounted explicitly instead of relying on their
+// DefaultServeMux side-effect registrations.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }
 
 // cmdSubmit submits a campaign to a running daemon:
@@ -322,8 +355,8 @@ func printJobStatus(st serve.JobStatus) {
 	line := fmt.Sprintf("%s  %-9s", st.ID, st.State)
 	if c := st.Campaign; c != nil {
 		line += fmt.Sprintf("  %6.2fs  %2d/%d groups  %8.2f MB sent", c.ElapsedSec, c.SentGroups, c.Fields, float64(c.SentBytes)/1e6)
-		if c.Retries > 0 {
-			line += fmt.Sprintf("  %d retries", c.Retries)
+		if c.Retries > 0 || c.Failovers > 0 {
+			line += fmt.Sprintf("  %d retries/%d failovers", c.Retries, c.Failovers)
 		}
 		for _, s := range c.Stages {
 			if s.Name == "transfer" && s.MBps > 0 {

@@ -111,6 +111,13 @@ type CampaignResult struct {
 	// prediction is a makespan.
 	LinkEstSec float64
 	Plan       *planner.Plan // the full per-field decision table
+
+	// Metrics is the inline flattened snapshot of the spec's metrics
+	// registry at campaign completion (nil unless CampaignSpec.Obs carries
+	// one): every counter/gauge keyed `name{labels}`, histograms as
+	// `_sum`/`_count` pairs — the same series GET /metrics exposes from
+	// the daemon, without running one.
+	Metrics map[string]float64 `json:",omitempty"`
 }
 
 // Spec projects the legacy options onto the unified CampaignSpec.

@@ -8,6 +8,7 @@ import (
 	"ocelot/internal/codec"
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
+	"ocelot/internal/obs"
 	"ocelot/internal/sz"
 )
 
@@ -53,6 +54,12 @@ func newChunkFanout(cfg faas.EndpointConfig) (*chunkFanout, error) {
 		if !ok {
 			return nil, errors.New("ocelot.compressChunk: bad payload")
 		}
+		// The fabric hands the function the submitter's context, which
+		// carries the compress stage's span — each chunk task traces as a
+		// child of its field's compress span.
+		_, span := obs.StartSpan(ctx, "chunk",
+			obs.Int("start", int64(p.rng.Start)), obs.Int("end", int64(p.rng.End)))
+		defer span.End()
 		if p.cdc != nil && p.cdc.Name() != sz.CodecName {
 			// Generic codec path: the chunk is a contiguous row block, so
 			// it compresses as a standalone field under the FIELD-level

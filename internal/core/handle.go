@@ -79,9 +79,11 @@ type CampaignStatus struct {
 	SentGroups int64 `json:"sentGroups"`
 	SentBytes  int64 `json:"sentBytes"`
 	// Retries and Failovers count transient-failure recoveries so far (zero
-	// unless the spec carries a retry policy or fallback transports).
-	Retries   int64 `json:"retries,omitempty"`
-	Failovers int64 `json:"failovers,omitempty"`
+	// unless the spec carries a retry policy or fallback transports). They
+	// serialize unconditionally — a watcher's ledger needs the explicit
+	// zero to distinguish "no faults" from "field absent".
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
 	// Stages is the live per-stage timing/throughput ledger (nil until the
 	// stage graph starts).
 	Stages []StageTiming `json:"stages,omitempty"`

@@ -16,6 +16,7 @@ import (
 	"ocelot/internal/grouping"
 	"ocelot/internal/journal"
 	"ocelot/internal/metrics"
+	"ocelot/internal/obs"
 	"ocelot/internal/pipeline"
 	"ocelot/internal/sentinel"
 	"ocelot/internal/sz"
@@ -102,6 +103,36 @@ type campaignMode struct {
 	observe func(*pipeline.Group)
 	// progress, when set, receives live transfer counters for Status.
 	progress *campaignProgress
+	// obs, when set, records lifecycle spans and campaign metrics
+	// (CampaignSpec.Obs). nil costs pointer checks only.
+	obs *obs.Obs
+}
+
+// campaignMetrics holds the campaign counters resolved once per run, so
+// the stage hot paths pay an atomic add — not a registry lookup — per
+// event. All fields are nil (no-op) when the spec carries no registry.
+type campaignMetrics struct {
+	rawBytes        *obs.Counter   // campaign_raw_bytes_total
+	compressedBytes *obs.Counter   // campaign_compressed_bytes_total
+	sentBytes       *obs.Counter   // campaign_sent_bytes_total
+	groups          *obs.Counter   // campaign_groups_total
+	chunks          *obs.Counter   // campaign_chunks_total
+	fields          *obs.Counter   // campaign_fields_total
+	sendSeconds     *obs.Histogram // campaign_send_seconds
+}
+
+// newCampaignMetrics resolves the campaign metric family against the
+// bundle's registry (all-nil when absent).
+func newCampaignMetrics(o *obs.Obs) campaignMetrics {
+	return campaignMetrics{
+		rawBytes:        o.Counter("campaign_raw_bytes_total"),
+		compressedBytes: o.Counter("campaign_compressed_bytes_total"),
+		sentBytes:       o.Counter("campaign_sent_bytes_total"),
+		groups:          o.Counter("campaign_groups_total"),
+		chunks:          o.Counter("campaign_chunks_total"),
+		fields:          o.Counter("campaign_fields_total"),
+		sendSeconds:     o.Histogram("campaign_send_seconds"),
+	}
 }
 
 // campaignProgress carries the live mid-run counters a Campaign handle's
@@ -223,9 +254,14 @@ type packState struct {
 	// journal, when set, durably records each packed group before it is
 	// offered to the transport.
 	journal *journal.Writer
+	// obs records one "pack" span per emitted group (nil = off).
+	obs *obs.Obs
 }
 
-func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
+func (ps *packState) emitGroup(ctx context.Context, idxs []int, emit func(packedGroup) error) error {
+	_, span := ps.obs.StartSpan(ctx, "pack",
+		obs.Int("group", int64(ps.nextID)), obs.Int("members", int64(len(idxs))))
+	defer span.End()
 	members := make([]grouping.Member, 0, len(idxs))
 	for _, i := range idxs {
 		members = append(members, grouping.Member{Name: ps.names[i], Data: ps.streams[i]})
@@ -235,6 +271,7 @@ func (ps *packState) emitGroup(idxs []int, emit func(packedGroup) error) error {
 	if err != nil {
 		return err
 	}
+	span.Annotate(obs.Int("bytes", int64(len(arch))))
 	ps.groupedBytes += int64(len(arch))
 	ps.plan = append(ps.plan, idxs)
 	ps.groupBytes = append(ps.groupBytes, int64(len(arch)))
@@ -414,9 +451,33 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		if err != nil {
 			return nil, fmt.Errorf("core: journal %s: %w", mode.journalPath, err)
 		}
+		if mode.obs != nil {
+			jw.SetMetrics(mode.obs.Metrics)
+		}
 		defer jw.Close()
 	}
 	ps.journal = jw
+	ps.obs = mode.obs
+
+	// Observability: the root span covers the whole stage graph (the ctx
+	// rebind parents every stage and per-item span under it), and the
+	// campaign counter family is resolved once so stage workers pay one
+	// atomic add per event. A nil bundle leaves cm all-nil no-ops.
+	cm := newCampaignMetrics(mode.obs)
+	cm.fields.Add(int64(len(missing)))
+	cm.rawBytes.Add(res.RawBytes)
+	ctx, rootSpan := mode.obs.StartSpan(ctx, "campaign",
+		obs.Int("fields", int64(len(fields))), obs.String("engine", mode.engineName()))
+	defer rootSpan.End()
+	if mode.obs != nil {
+		mode.retry.Metrics = mode.obs.Metrics
+		mode.endpoint.Metrics = mode.obs.Metrics
+		for _, tr := range append([]Transport{mode.transport}, mode.fallbacks...) {
+			if st, ok := tr.(*SimulatedWANTransport); ok {
+				st.adoptMetrics(mode.obs.Metrics)
+			}
+		}
+	}
 
 	if len(missing) == 0 {
 		// Every field was acked before this incarnation started: nothing to
@@ -428,6 +489,9 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			}
 		}
 		res.ReconDigest = foldDigests(reconDigests)
+		if mode.obs != nil && mode.obs.Metrics != nil {
+			res.Metrics = mode.obs.Metrics.Snapshot()
+		}
 		return res, nil
 	}
 
@@ -451,6 +515,9 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	}
 	compress := pipeline.Stage(g, pipeline.Config{Name: "compress", Workers: workers, Buffer: buffer}, src,
 		func(ctx context.Context, i int) (compressedItem, error) {
+			ctx, span := mode.obs.StartSpan(ctx, "compress",
+				obs.String("field", fields[i].ID()), obs.String("codec", codecNames[i]))
+			defer span.End()
 			cfg := sz.DefaultConfig(absEBs[i])
 			if preds[i] != 0 {
 				cfg.Predictor = preds[i]
@@ -475,6 +542,8 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 					mode.progress.retries.Add(int64(r))
 				}
 				totalChunks.Add(int64(n))
+				cm.chunks.Add(int64(n))
+				span.Annotate(obs.Int("chunks", int64(n)))
 			case codecs[i].Name() == sz.CodecName:
 				// The sz3 path keeps its richer Config (predictor choice,
 				// future knobs) rather than flattening through the
@@ -487,6 +556,8 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			if err != nil {
 				return compressedItem{}, fmt.Errorf("compress %s: %w", fields[i].ID(), err)
 			}
+			cm.compressedBytes.Add(int64(len(stream)))
+			span.Annotate(obs.Int("bytes", int64(len(stream))))
 			return compressedItem{idx: i, name: ps.names[i], stream: stream}, nil
 		})
 
@@ -511,14 +582,29 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	var linkSec float64
 	sent := pipeline.Stage(g, pipeline.Config{Name: "transfer", Workers: mode.transferStreams, Buffer: buffer}, packed,
 		func(ctx context.Context, pg packedGroup) (sentGroup, error) {
+			ctx, span := mode.obs.StartSpan(ctx, "transfer",
+				obs.Int("group", int64(pg.id)), obs.Int("bytes", int64(len(pg.archive))))
+			defer span.End()
 			name := fmt.Sprintf("group-%04d.ocgr", pg.id)
 			var sec float64
+			var attempt int64
 			r, f, err := sentinel.Failover(ctx, mode.retry, len(transports),
 				func(ctx context.Context, ep int) error {
-					s, sendErr := send(ctx, transports[ep], name, pg.archive)
+					// One child span per attempt, so retries and failovers
+					// are visible in the trace as repeated sends under the
+					// group's transfer span.
+					attempt++
+					actx, asp := mode.obs.StartSpan(ctx, "send",
+						obs.Int("attempt", attempt), obs.Int("endpoint", int64(ep)))
+					start := now()
+					s, sendErr := send(actx, transports[ep], name, pg.archive)
+					cm.sendSeconds.Observe(now().Sub(start).Seconds())
 					if sendErr == nil {
 						sec = s
+					} else {
+						asp.Annotate(obs.String("error", sendErr.Error()))
 					}
+					asp.End()
 					return sendErr
 				})
 			retriesTotal.Add(int64(r))
@@ -533,12 +619,17 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			linkMu.Lock()
 			linkSec += sec
 			linkMu.Unlock()
+			cm.sentBytes.Add(int64(len(pg.archive)))
+			cm.groups.Inc()
 			if mode.progress != nil {
 				mode.progress.sentBytes.Add(int64(len(pg.archive)))
 				mode.progress.sentGroups.Add(1)
 			}
 			if jw != nil {
-				if jerr := jw.Sent(pg.id); jerr != nil {
+				_, jsp := mode.obs.StartSpan(ctx, "journal.sent", obs.Int("group", int64(pg.id)))
+				jerr := jw.Sent(pg.id)
+				jsp.End()
+				if jerr != nil {
 					return sentGroup{}, jerr
 				}
 			}
@@ -570,46 +661,60 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	digestOn := mode.chunkBytes > 0 || journaling
 	verified := pipeline.Stage(g, pipeline.Config{Name: "decompress", Workers: workers, Buffer: buffer}, sent,
 		func(ctx context.Context, sg sentGroup) (verifiedGroup, error) {
+			ctx, span := mode.obs.StartSpan(ctx, "decompress", obs.Int("group", int64(sg.id)))
+			defer span.End()
 			members, err := grouping.Unpack(sg.archive)
 			if err != nil {
 				return verifiedGroup{}, err
 			}
+			span.Annotate(obs.Int("members", int64(len(members))))
 			out := verifiedGroup{members: len(members), minPSNR: math.Inf(1)}
 			for _, m := range members {
-				i, ok := byName[m.Name]
-				if !ok {
-					return verifiedGroup{}, fmt.Errorf("core: unknown member %q", m.Name)
-				}
-				// Registry dispatch on the member's own magic: grouped
-				// archives may mix codecs (per-field plan decisions), and
-				// pre-codec sz3 archives decode through the same path
-				// byte-identically.
-				recon, dims, err := codec.Decompress(m.Data)
-				if err != nil {
-					return verifiedGroup{}, fmt.Errorf("decompress %s: %w", m.Name, err)
-				}
-				if len(dims) != len(fields[i].Dims) {
-					return verifiedGroup{}, fmt.Errorf("core: %s: dims mismatch", m.Name)
-				}
-				// Each field is verified exactly once, so writing its slot
-				// is race-free across decompress workers.
-				if digestOn {
-					reconDigests[i] = reconDigest(recon)
-				}
-				maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
-				if err != nil {
-					return verifiedGroup{}, err
-				}
-				if maxErr > absEBs[i]*(1+1e-9) {
-					return verifiedGroup{}, fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
-				}
-				out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
-				if mode.measurePSNR {
-					p, err := metrics.PSNR(fields[i].Data, recon)
-					if err != nil {
-						return verifiedGroup{}, err
+				// One verify span per member: decode, digest, bound check,
+				// optional PSNR. The closure gives the span a single exit
+				// for every error path.
+				m := m
+				if err := func() error {
+					_, vsp := mode.obs.StartSpan(ctx, "verify", obs.String("field", m.Name))
+					defer vsp.End()
+					i, ok := byName[m.Name]
+					if !ok {
+						return fmt.Errorf("core: unknown member %q", m.Name)
 					}
-					out.minPSNR = math.Min(out.minPSNR, p)
+					// Registry dispatch on the member's own magic: grouped
+					// archives may mix codecs (per-field plan decisions), and
+					// pre-codec sz3 archives decode through the same path
+					// byte-identically.
+					recon, dims, err := codec.Decompress(m.Data)
+					if err != nil {
+						return fmt.Errorf("decompress %s: %w", m.Name, err)
+					}
+					if len(dims) != len(fields[i].Dims) {
+						return fmt.Errorf("core: %s: dims mismatch", m.Name)
+					}
+					// Each field is verified exactly once, so writing its slot
+					// is race-free across decompress workers.
+					if digestOn {
+						reconDigests[i] = reconDigest(recon)
+					}
+					maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
+					if err != nil {
+						return err
+					}
+					if maxErr > absEBs[i]*(1+1e-9) {
+						return fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
+					}
+					out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
+					if mode.measurePSNR {
+						p, err := metrics.PSNR(fields[i].Data, recon)
+						if err != nil {
+							return err
+						}
+						out.minPSNR = math.Min(out.minPSNR, p)
+					}
+					return nil
+				}(); err != nil {
+					return verifiedGroup{}, err
 				}
 			}
 			if jw != nil {
@@ -621,7 +726,10 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 				for k, i := range sg.idxs {
 					acks[k] = reconDigests[i]
 				}
-				if err := jw.Ack(sg.id, acks); err != nil {
+				_, jsp := mode.obs.StartSpan(ctx, "journal.ack", obs.Int("group", int64(sg.id)))
+				err := jw.Ack(sg.id, acks)
+				jsp.End()
+				if err != nil {
 					return verifiedGroup{}, err
 				}
 			}
@@ -702,6 +810,16 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			res.DecompressSec = s.WallSec
 		}
 	}
+	if mode.obs != nil && mode.obs.Metrics != nil {
+		// Per-stage throughput distribution across runs, then the inline
+		// snapshot — taken last so it includes everything above.
+		for _, s := range stats {
+			if s.MBps > 0 {
+				mode.obs.Histogram("campaign_stage_mbps", obs.L("stage", s.Name)).Observe(s.MBps)
+			}
+		}
+		res.Metrics = mode.obs.Metrics.Snapshot()
+	}
 	return res, nil
 }
 
@@ -777,7 +895,7 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 					for k, p := range pos {
 						idxs[k] = active[p]
 					}
-					if err := ps.emitGroup(idxs, emit); err != nil {
+					if err := ps.emitGroup(ctx, idxs, emit); err != nil {
 						return err
 					}
 				}
@@ -808,7 +926,7 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 	}
 	var cur []int
 	var curBytes int64
-	flushCur := func(emit func(packedGroup) error) error {
+	flushCur := func(ctx context.Context, emit func(packedGroup) error) error {
 		if len(cur) == 0 {
 			return nil
 		}
@@ -817,14 +935,14 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 		idxs := append([]int(nil), cur...)
 		sort.Ints(idxs)
 		cur, curBytes = nil, 0
-		return ps.emitGroup(idxs, emit)
+		return ps.emitGroup(ctx, idxs, emit)
 	}
 	return pipeline.Reduce(g, cfg, in,
 		func(ctx context.Context, it compressedItem, emit func(packedGroup) error) error {
 			size := int64(len(it.stream))
 			ps.compressedBytes += size
 			if strategy == grouping.ByTargetSize && curBytes > 0 && curBytes+size > param {
-				if err := flushCur(emit); err != nil {
+				if err := flushCur(ctx, emit); err != nil {
 					return err
 				}
 			}
@@ -832,11 +950,11 @@ func packStage(g *pipeline.Group, in <-chan compressedItem, ps *packState, mode 
 			cur = append(cur, it.idx)
 			curBytes += size
 			if want := groupSize(ps.nextID - ps.idOffset); want > 0 && len(cur) == want {
-				return flushCur(emit)
+				return flushCur(ctx, emit)
 			}
 			return nil
 		},
 		func(ctx context.Context, emit func(packedGroup) error) error {
-			return flushCur(emit)
+			return flushCur(ctx, emit)
 		})
 }

@@ -11,6 +11,7 @@ import (
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
 	"ocelot/internal/journal"
+	"ocelot/internal/obs"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
 	"ocelot/internal/sentinel"
@@ -149,6 +150,14 @@ type CampaignSpec struct {
 	// transfer stage and the chunk fan-out. The zero value keeps fail-fast
 	// semantics (a single attempt).
 	Retry sentinel.RetryPolicy
+	// Obs attaches an observability bundle (internal/obs): when set, the
+	// campaign records spans for every lifecycle step — plan, per-field
+	// compress (down to chunk fan-out), pack, per-group transfer including
+	// each retry/failover attempt and journal ack, decompress, verify —
+	// on Obs.Tracer, and instruments counters/histograms on Obs.Metrics
+	// (snapshotted into CampaignResult.Metrics). nil costs only pointer
+	// checks on the instrumented paths.
+	Obs *obs.Obs
 	// FallbackTransports are failover endpoints: when the primary Transport
 	// exhausts its retry budget — or fails permanently — each fallback is
 	// tried in order under the same policy. The terminal error is a
@@ -237,6 +246,7 @@ func (s CampaignSpec) mode() campaignMode {
 		journalMeta:     s.JournalMeta,
 		retry:           s.Retry,
 		fallbacks:       s.FallbackTransports,
+		obs:             s.Obs,
 	}
 }
 
@@ -305,6 +315,7 @@ func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
 		planning()
 	}
 	planStart := now()
+	_, planSpan := mode.obs.StartSpan(ctx, "plan", obs.Int("fields", int64(len(fields))))
 	var plan *planner.Plan
 	var err error
 	if m := mode.manifest; m != nil {
@@ -327,6 +338,7 @@ func runSpec(ctx context.Context, fields []*datagen.Field, spec CampaignSpec,
 	} else {
 		plan, err = PlanSpec(fields, spec)
 	}
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ocelot/internal/gridftp"
+	"ocelot/internal/obs"
 	"ocelot/internal/wan"
 )
 
@@ -98,6 +100,18 @@ type SimulatedWANTransport struct {
 	// count; without pacing there is no wall-time overlap to share the
 	// link across).
 	Timescale float64
+	// Metrics, when set, counts pacing waits (wan_pacing_waits_total — one
+	// per pacing quantum slept) and feeds the fault injector's counters.
+	// Set before the first send and never reassigned after; nil = off.
+	// Campaigns that carry their own registry install it via adoptMetrics
+	// instead, so a transport shared across concurrent campaigns (the
+	// serve scheduler's link) is never mutated mid-send.
+	Metrics *obs.Registry
+
+	// adopted is the campaign-installed registry when Metrics was nil:
+	// CAS-installed so concurrent campaigns sharing this transport race
+	// benignly (first adopter wins, matching the old set-if-nil intent).
+	adopted atomic.Pointer[obs.Registry]
 
 	mu     sync.Mutex
 	active int           // sends currently admitted to the link
@@ -112,6 +126,26 @@ type SimulatedWANTransport struct {
 	injector  *wan.Injector
 	faultErr  error
 	epoch     time.Time
+}
+
+// adoptMetrics installs reg as the transport's registry unless one was
+// configured at construction or already adopted. Safe under concurrent
+// campaigns sharing the transport.
+func (t *SimulatedWANTransport) adoptMetrics(reg *obs.Registry) {
+	if reg == nil || t.Metrics != nil {
+		return
+	}
+	t.adopted.CompareAndSwap(nil, reg)
+}
+
+// metrics is the registry sends observe: the construction-time Metrics
+// field when set, else the campaign-adopted one. Either may be nil — the
+// obs handles are nil-safe.
+func (t *SimulatedWANTransport) metrics() *obs.Registry {
+	if t.Metrics != nil {
+		return t.Metrics
+	}
+	return t.adopted.Load()
 }
 
 // Name implements Transport.
@@ -138,6 +172,7 @@ func (t *SimulatedWANTransport) initFaults() error {
 		t.epoch = time.Now()
 		if t.Link.Faults != nil {
 			t.injector, t.faultErr = wan.NewInjector(t.Link.Faults)
+			t.injector.SetMetrics(t.metrics())
 		}
 	})
 	return t.faultErr
@@ -263,7 +298,9 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 		return 0, err
 	}
 	remainingMB := float64(len(data)) / 1e6
+	pacingWaits := t.metrics().Counter("wan_pacing_waits_total")
 	for remainingMB > 1e-12 {
+		pacingWaits.Inc()
 		t.mu.Lock()
 		share := weight / t.weight
 		ch := t.change

@@ -408,3 +408,31 @@ func TestFaultResume(t *testing.T) {
 		t.Error("artifact text missing the digest line")
 	}
 }
+
+func TestObsOverhead(t *testing.T) {
+	res, err := ObsOverhead(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed BENCH_obs.json gates overhead_frac < 0.02 on a quiet
+	// host; under parallel test load the A/B timing wobbles, so the unit
+	// test only rejects gross regressions (an accidentally-enabled tracer
+	// or a lock on the hot path shows up as tens of percent).
+	if f := res.Values["overhead_frac"]; f >= 0.10 {
+		t.Errorf("disabled-observability overhead %.1f%%, want well under 10%%", f*100)
+	}
+	// The driver hard-fails when any stage span is missing; the values
+	// here are the coverage facts the artifact publishes.
+	if res.Values["enabled_spans"] <= 0 {
+		t.Error("enabled run recorded no spans")
+	}
+	if res.Values["enabled_send_spans"] <= 0 {
+		t.Error("enabled run recorded no send attempt spans")
+	}
+	if res.Values["metrics_series"] <= 0 {
+		t.Error("enabled run snapshot carries no metric series")
+	}
+	if !strings.Contains(res.Text, "overhead") {
+		t.Error("artifact text missing the overhead line")
+	}
+}

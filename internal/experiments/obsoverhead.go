@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"ocelot/internal/core"
+	"ocelot/internal/datagen"
+	"ocelot/internal/obs"
+)
+
+// obsStageSpans is the span set every traced pipelined campaign must emit
+// at least once — the taxonomy ARCHITECTURE.md documents.
+var obsStageSpans = []string{"campaign", "compress", "pack", "transfer", "send", "decompress", "verify"}
+
+// ObsOverhead is the observability-contract artifact behind internal/obs:
+// instrumentation wired through every campaign stage must be free when
+// nobody is looking, and complete when somebody is.
+//
+// Overhead leg: the same pipelined campaign is A/B-timed with Obs unset
+// (baseline) versus fully instrumented but disabled — a tracer with
+// SetEnabled(false) plus a live metrics registry, so every StartSpan
+// resolves to one atomic load and every counter to one atomic add. The
+// median-of-ratios overhead fraction is the artifact gate (< 2% wall).
+//
+// Coverage leg: one run with tracing enabled must emit at least one span
+// for every pipeline stage (campaign, compress, pack, transfer, send,
+// decompress, verify) and its metrics snapshot must account for every raw
+// byte the campaign moved.
+func ObsOverhead(scale Scale) (*Result, error) {
+	scale = scale.timing() // overhead fractions need runs long enough to time
+	res := newResult("ObsOverhead")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	const nFields = 4
+	names := datagen.Fields("CESM")[:nFields]
+	fields := make([]*datagen.Field, 0, nFields)
+	var rawBytes int64
+	for _, name := range names {
+		f, err := datagen.Generate("CESM", name, scale.Shrink, scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rawBytes += int64(f.RawBytes())
+		fields = append(fields, f)
+	}
+	spec := core.CampaignSpec{
+		RelErrorBound: 1e-3,
+		Workers:       4,
+		GroupParam:    2,
+		Codec:         scale.Codec,
+		Transport:     core.NopTransport{},
+	}
+
+	baseline := func() error {
+		_, err := core.Run(ctx, fields, spec)
+		return err
+	}
+	// Instrumented-but-disabled: the exact production wiring a daemon would
+	// leave in place between scrapes. The registry is live (counters DO
+	// count); only the tracer is off.
+	offTracer := obs.NewTracer()
+	offTracer.SetEnabled(false)
+	instr := spec
+	instr.Obs = &obs.Obs{Tracer: offTracer, Metrics: obs.NewRegistry()}
+	instrumented := func() error {
+		_, err := core.Run(ctx, fields, instr)
+		return err
+	}
+	instrSec, baseSec, speedup, err := pairedMedian(instrumented, baseline)
+	if err != nil {
+		return nil, fmt.Errorf("obs overhead: %w", err)
+	}
+	// speedup is median(base/instr) per round; overhead is its inverse.
+	overhead := 1/speedup - 1
+	res.Values["overhead_frac"] = overhead
+	res.Values["instrumented_sec"] = instrSec
+	res.Values["baseline_sec"] = baseSec
+
+	// Coverage leg: enabled tracer + fresh registry, one run.
+	tracer := obs.NewTracer()
+	en := spec
+	en.Obs = &obs.Obs{Tracer: tracer, Metrics: obs.NewRegistry()}
+	eres, err := core.Run(ctx, fields, en)
+	if err != nil {
+		return nil, fmt.Errorf("obs coverage: %w", err)
+	}
+	byName := make(map[string]int)
+	for _, s := range tracer.Spans() {
+		byName[s.Name]++
+	}
+	for _, want := range obsStageSpans {
+		if byName[want] == 0 {
+			return nil, fmt.Errorf("obs coverage: traced campaign emitted no %q span", want)
+		}
+	}
+	if eres.Metrics == nil {
+		return nil, errors.New("obs coverage: instrumented CampaignResult carries no metrics snapshot")
+	}
+	if got := int64(eres.Metrics["campaign_raw_bytes_total"]); got != rawBytes {
+		return nil, fmt.Errorf("obs coverage: campaign_raw_bytes_total = %d, want %d", got, rawBytes)
+	}
+	res.Values["enabled_spans"] = float64(len(tracer.Spans()))
+	res.Values["enabled_send_spans"] = float64(byName["send"])
+	res.Values["metrics_series"] = float64(len(eres.Metrics))
+	res.Values["config/fields"] = nFields
+	res.Values["config/raw_bytes"] = float64(rawBytes)
+
+	var sb strings.Builder
+	sb.WriteString("ObsOverhead: instrumented-but-disabled vs baseline campaign\n\n")
+	sb.WriteString(fmt.Sprintf("baseline      %8.4fs median wall\n", baseSec))
+	sb.WriteString(fmt.Sprintf("instrumented  %8.4fs median wall (tracer disabled, registry live)\n", instrSec))
+	sb.WriteString(fmt.Sprintf("overhead      %+8.2f%% (acceptance < 2%%)\n\n", overhead*100))
+	sb.WriteString(fmt.Sprintf("enabled run: %d spans across %d names, %d metric series\n",
+		len(tracer.Spans()), len(byName), len(eres.Metrics)))
+	sb.WriteString(fmt.Sprintf("stage span coverage: %s\n", strings.Join(obsStageSpans, ", ")))
+	res.Text = sb.String()
+	return res, nil
+}

@@ -41,6 +41,7 @@ func Drivers() []Driver {
 		{"HotPath", HotPath},
 		{"ServeFairness", ServeFairness},
 		{"FaultResume", FaultResume},
+		{"ObsOverhead", ObsOverhead},
 	}
 }
 

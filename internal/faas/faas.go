@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"ocelot/internal/obs"
 )
 
 // Function is an executable registered with the service. Payload and result
@@ -102,6 +104,10 @@ type EndpointConfig struct {
 	WarmStart time.Duration
 	// QueueDepth bounds the endpoint's backlog; ≤ 0 means 1024.
 	QueueDepth int
+	// Metrics, when set, counts endpoint activity: faas_tasks_total,
+	// faas_cold_starts_total vs faas_warm_starts_total, and the live
+	// faas_queue_depth gauge. Nil costs pointer checks only.
+	Metrics *obs.Registry
 }
 
 // Endpoint executes tasks for one remote site.
@@ -117,6 +123,13 @@ type Endpoint struct {
 	once      sync.Once
 	aborted   chan struct{}
 	abortOnce sync.Once
+
+	// Metric handles resolved once at deploy (all nil-safe no-ops when the
+	// config carries no registry).
+	queueDepth *obs.Gauge
+	coldStarts *obs.Counter
+	warmStarts *obs.Counter
+	tasks      *obs.Counter
 }
 
 // DeployEndpoint registers and starts an endpoint.
@@ -136,13 +149,17 @@ func (s *Service) DeployEndpoint(name string, cfg EndpointConfig) (*Endpoint, er
 		return nil, fmt.Errorf("faas: endpoint %q already deployed", name)
 	}
 	ep := &Endpoint{
-		name:    name,
-		svc:     s,
-		cfg:     cfg,
-		queue:   make(chan *task, cfg.QueueDepth),
-		warm:    make(map[string]bool),
-		closed:  make(chan struct{}),
-		aborted: make(chan struct{}),
+		name:       name,
+		svc:        s,
+		cfg:        cfg,
+		queue:      make(chan *task, cfg.QueueDepth),
+		warm:       make(map[string]bool),
+		closed:     make(chan struct{}),
+		aborted:    make(chan struct{}),
+		queueDepth: cfg.Metrics.Gauge("faas_queue_depth"),
+		coldStarts: cfg.Metrics.Counter("faas_cold_starts_total"),
+		warmStarts: cfg.Metrics.Counter("faas_warm_starts_total"),
+		tasks:      cfg.Metrics.Counter("faas_tasks_total"),
 	}
 	s.endpoints[name] = ep
 	for w := 0; w < cfg.Workers; w++ {
@@ -176,6 +193,7 @@ func (e *Endpoint) Abort() {
 func (e *Endpoint) worker() {
 	defer e.wg.Done()
 	for t := range e.queue {
+		e.queueDepth.Add(-1)
 		switch {
 		case isAborted(e.aborted):
 			e.finish(t, nil, fmt.Errorf("%w: %s", ErrEndpointClosed, e.name))
@@ -214,6 +232,11 @@ func (e *Endpoint) execute(t *task) {
 	isWarm := e.warm[t.fn]
 	e.warm[t.fn] = true
 	e.warmMu.Unlock()
+	if isWarm {
+		e.warmStarts.Inc()
+	} else {
+		e.coldStarts.Inc()
+	}
 	delay := e.cfg.WarmStart
 	if !isWarm && e.cfg.ColdStart > 0 {
 		delay = e.cfg.ColdStart
@@ -242,6 +265,7 @@ func (e *Endpoint) finish(t *task, res interface{}, err error) {
 	t.err = err
 	t.state = StateDone
 	e.svc.mu.Unlock()
+	e.tasks.Inc()
 	close(t.done)
 }
 
@@ -291,6 +315,7 @@ func (s *Service) submit(ctx context.Context, endpoint, fn string, payload inter
 		drop()
 		return "", ErrEndpointClosed
 	case ep.queue <- t:
+		ep.queueDepth.Add(1)
 		return id, nil
 	}
 }

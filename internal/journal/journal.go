@@ -28,6 +28,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"ocelot/internal/obs"
 )
 
 // Record kinds, stored in Entry.T.
@@ -453,6 +455,20 @@ type Writer struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	// records/fsyncs count appends when SetMetrics installed a registry
+	// (nil = off; Append pays a pointer check per record).
+	records *obs.Counter
+	fsyncs  *obs.Counter
+}
+
+// SetMetrics installs a metrics registry: every subsequent Append counts
+// one journal_records_total and one journal_fsyncs_total. Nil reg resets
+// to off.
+func (w *Writer) SetMetrics(reg *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.records = reg.Counter("journal_records_total")
+	w.fsyncs = reg.Counter("journal_fsyncs_total")
 }
 
 // Create starts a fresh journal at path, truncating any previous file and
@@ -515,7 +531,12 @@ func (w *Writer) Append(e Entry) error {
 	if _, err := w.f.Write(buf); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.records.Inc()
+	w.fsyncs.Inc()
+	return nil
 }
 
 // Begin records the campaign's identity and pinned plan.

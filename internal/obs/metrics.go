@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. tenant="climate").
+type Label struct {
+	// Key is the label name.
+	Key string
+	// Value is the label value.
+	Value string
+}
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotone atomic counter. Methods on a nil *Counter are
+// no-ops, so handles resolved from an absent registry cost one pointer
+// check per event.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (negative n is ignored: counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (queue depth, active
+// campaigns). Methods on a nil *Gauge are no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram buckets: powers of four from 4^-10 (~1e-6) through 4^10
+// (~1e6), plus +Inf — a log-bucketed layout that covers microsecond send
+// latencies and thousands-of-MB/s stage rates with 22 buckets.
+const (
+	histBuckets = 21 // finite boundaries: 4^(i-10), i = 0..20
+	histBase    = 4.0
+	histMinExp  = -10
+)
+
+// Histogram is an atomic log-bucketed histogram (fixed power-of-four
+// boundaries). Methods on a nil *Histogram are no-ops. Exposition
+// renders cumulative Prometheus-style _bucket/_sum/_count series.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // last bucket is +Inf
+	sum    atomic.Uint64                 // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+// histBound returns finite bucket boundary i (values ≤ bound land in
+// bucket i).
+func histBound(i int) float64 { return math.Pow(histBase, float64(i+histMinExp)) }
+
+// Observe records one sample. NaN is dropped; negative and zero samples
+// land in the smallest bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = int(math.Ceil(math.Log2(v)/2)) - histMinExp
+		if idx < 0 {
+			idx = 0
+		} else if idx > histBuckets {
+			idx = histBuckets
+		}
+	}
+	h.counts[idx].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the number of samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum reports the sample sum (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// series is one registered metric instance: a family name, its resolved
+// label set, and the live value holder.
+type series struct {
+	name   string
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// regState is the storage a Registry (and every labeled view of it)
+// shares.
+type regState struct {
+	mu     sync.RWMutex
+	kinds  map[string]string  // family name -> "counter" | "gauge" | "histogram"
+	series map[string]*series // series key -> instance
+}
+
+// Registry hands out metrics keyed by family name + label set and
+// renders them in Prometheus text exposition format. The zero value is
+// not usable; construct with NewRegistry. All methods are safe for
+// concurrent use, and resolution is a read-locked map hit once a series
+// exists — call sites in hot loops should still resolve their handles
+// once up front. Methods on a nil *Registry return nil handles, whose
+// methods are no-ops.
+type Registry struct {
+	state *regState
+	base  []Label // labels every series resolved through this view carries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{state: &regState{
+		kinds:  make(map[string]string),
+		series: make(map[string]*series),
+	}}
+}
+
+// With derives a view that stamps the given labels onto every series it
+// resolves (the serve daemon derives one view per tenant). The view
+// shares storage with its parent: WritePrometheus on either renders the
+// same series. Nil-safe.
+func (r *Registry) With(labels ...Label) *Registry {
+	if r == nil || len(labels) == 0 {
+		return r
+	}
+	base := make([]Label, 0, len(r.base)+len(labels))
+	base = append(base, r.base...)
+	base = append(base, labels...)
+	return &Registry{state: r.state, base: base}
+}
+
+// resolveLabels merges the view's base labels with the call's, sorted by
+// key (later keys win on duplicates after sorting — stable either way
+// for exposition).
+func (r *Registry) resolveLabels(labels []Label) []Label {
+	merged := make([]Label, 0, len(r.base)+len(labels))
+	merged = append(merged, r.base...)
+	merged = append(merged, labels...)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	return merged
+}
+
+// seriesKey builds the storage key for one (name, labels) instance.
+func seriesKey(name string, labels []Label) string {
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// lookup returns the series for key under the read lock, or nil.
+func (st *regState) lookup(key string) *series {
+	st.mu.RLock()
+	s := st.series[key]
+	st.mu.RUnlock()
+	return s
+}
+
+// getOrCreate resolves (name, labels) to its series, creating it (and
+// registering the family kind on first sight) when missing.
+func (r *Registry) getOrCreate(name, kind string, labels []Label) *series {
+	merged := r.resolveLabels(labels)
+	key := seriesKey(name, merged)
+	if s := r.state.lookup(key); s != nil {
+		return s
+	}
+	r.state.mu.Lock()
+	defer r.state.mu.Unlock()
+	if s := r.state.series[key]; s != nil {
+		return s
+	}
+	if _, ok := r.state.kinds[name]; !ok {
+		r.state.kinds[name] = kind
+	}
+	s := &series{name: name, labels: merged}
+	switch kind {
+	case "counter":
+		s.ctr = &Counter{}
+	case "gauge":
+		s.gauge = &Gauge{}
+	default:
+		s.hist = &Histogram{}
+	}
+	r.state.series[key] = s
+	return s
+}
+
+// Counter resolves (creating on first use) the named counter with the
+// view's base labels plus the given ones. Nil receiver → nil handle.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, "counter", labels).ctr
+}
+
+// Gauge resolves (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, "gauge", labels).gauge
+}
+
+// Histogram resolves (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, "histogram", labels).hist
+}
+
+// snapshotSeries copies the live series list under the read lock, sorted
+// by family name then label set, so exposition and snapshots never hold
+// the lock while formatting — scrapes do not contend with instrumented
+// hot paths beyond the map read.
+func (r *Registry) snapshotSeries() ([]*series, map[string]string) {
+	r.state.mu.RLock()
+	out := make([]*series, 0, len(r.state.series))
+	for _, s := range r.state.series {
+		out = append(out, s)
+	}
+	kinds := make(map[string]string, len(r.state.kinds))
+	for k, v := range r.state.kinds {
+		kinds[k] = v
+	}
+	r.state.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelString(out[i].labels) < labelString(out[j].labels)
+	})
+	return out, kinds
+}
+
+// labelString renders a label set as {k="v",...} ("" when empty),
+// escaping backslashes, quotes, and newlines per the exposition format.
+func labelString(labels []Label) string {
+	return labelStringExtra(labels, "", "")
+}
+
+// labelStringExtra renders labels with one extra pair appended (the
+// histogram "le" bound); extraKey "" means none.
+func labelStringExtra(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers per family, one sample line
+// per series, cumulative `_bucket`/`_sum`/`_count` triples per
+// histogram. Families and series emit in sorted order so consecutive
+// scrapes diff cleanly. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	all, kinds := r.snapshotSeries()
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range all {
+		if s.name != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, kinds[s.name])
+			lastFamily = s.name
+		}
+		switch {
+		case s.ctr != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, labelString(s.labels), s.ctr.Value())
+		case s.gauge != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", s.name, labelString(s.labels), s.gauge.Value())
+		case s.hist != nil:
+			cum := int64(0)
+			for i := 0; i < histBuckets; i++ {
+				cum += s.hist.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+					labelStringExtra(s.labels, "le", formatFloat(histBound(i))), cum)
+			}
+			cum += s.hist.counts[histBuckets].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", s.name,
+				labelStringExtra(s.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n", s.name, labelString(s.labels), formatFloat(s.hist.Sum()))
+			fmt.Fprintf(&b, "%s_count%s %d\n", s.name, labelString(s.labels), s.hist.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Snapshot flattens every series to scalar values keyed
+// `name{k="v",...}` (histograms contribute `_sum` and `_count`) — the
+// inline form CampaignResult carries. Nil-safe (returns nil).
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	all, _ := r.snapshotSeries()
+	out := make(map[string]float64, len(all))
+	for _, s := range all {
+		key := s.name + labelString(s.labels)
+		switch {
+		case s.ctr != nil:
+			out[key] = float64(s.ctr.Value())
+		case s.gauge != nil:
+			out[key] = float64(s.gauge.Value())
+		case s.hist != nil:
+			out[s.name+"_sum"+labelString(s.labels)] = s.hist.Sum()
+			out[s.name+"_count"+labelString(s.labels)] = float64(s.hist.Count())
+		}
+	}
+	return out
+}

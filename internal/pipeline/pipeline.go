@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"ocelot/internal/executor"
+	"ocelot/internal/obs"
 )
 
 // Config describes one stage.
@@ -174,6 +175,13 @@ type Group struct {
 	now    func() time.Time
 	wg     sync.WaitGroup
 
+	// tracer/span, captured from the creation context, receive one
+	// "stage:<name>" envelope span per active stage when the run joins —
+	// the timing ledger replayed into the trace after the fact.
+	tracer *obs.Tracer
+	span   *obs.Span
+	traced sync.Once
+
 	mu     sync.Mutex
 	err    error
 	stages []*stageRec
@@ -191,7 +199,8 @@ func NewGroupWithClock(ctx context.Context, now func() time.Time) *Group {
 		now = time.Now
 	}
 	gctx, cancel := context.WithCancel(ctx)
-	return &Group{ctx: gctx, cancel: cancel, now: now}
+	return &Group{ctx: gctx, cancel: cancel, now: now,
+		tracer: obs.TracerFromContext(ctx), span: obs.SpanFromContext(ctx)}
 }
 
 // Context is the group's cancellation context; it is cancelled when any
@@ -217,9 +226,28 @@ func (g *Group) fail(err error) {
 func (g *Group) Wait() error {
 	g.wg.Wait()
 	g.cancel()
+	g.traceStages()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.err
+}
+
+// traceStages replays the per-stage timing ledger into the captured
+// tracer as "stage:<name>" envelope spans, parented to the span the
+// creation context carried. Runs once; no-op without an enabled tracer.
+func (g *Group) traceStages() {
+	g.traced.Do(func() {
+		if !g.tracer.Enabled() {
+			return
+		}
+		for _, s := range g.Stats() {
+			if s.Items == 0 || s.FirstStart.IsZero() {
+				continue
+			}
+			g.tracer.Record(g.span, "stage:"+s.Name, s.FirstStart, s.LastEnd,
+				obs.Int("items", int64(s.Items)), obs.Int("workers", int64(s.Workers)))
+		}
+	})
 }
 
 // Stats returns per-stage timing in stage-creation order. Call after Wait;

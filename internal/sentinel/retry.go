@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"ocelot/internal/obs"
 )
 
 // Transienter is implemented by errors that know they are retryable —
@@ -99,6 +101,10 @@ type RetryPolicy struct {
 	// Sleep injects the backoff sleeper for tests; nil sleeps on a timer,
 	// honouring ctx.
 	Sleep func(ctx context.Context, d time.Duration) error
+	// Metrics, when set, counts sentinel_retries_total,
+	// sentinel_failovers_total, and sentinel_permanent_errors_total as
+	// Do/Failover classify outcomes. Nil costs a pointer check.
+	Metrics *obs.Registry
 }
 
 // withDefaults resolves the policy's zero values.
@@ -147,8 +153,12 @@ func (p RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error)
 	for attempt := 1; ; attempt++ {
 		err = op(ctx)
 		if err == nil || !IsTransient(err) || attempt >= p.MaxAttempts {
+			if err != nil && !IsTransient(err) {
+				p.Metrics.Counter("sentinel_permanent_errors_total").Inc()
+			}
 			return attempt - 1, err
 		}
+		p.Metrics.Counter("sentinel_retries_total").Inc()
 		if serr := p.Sleep(ctx, backoff); serr != nil {
 			return attempt - 1, serr
 		}
@@ -185,6 +195,7 @@ func Failover(ctx context.Context, p RetryPolicy, endpoints int,
 		}
 		if ep+1 < endpoints {
 			failovers++
+			p.Metrics.Counter("sentinel_failovers_total").Inc()
 		}
 	}
 	return retries, failovers, &PermanentError{

@@ -119,14 +119,16 @@ func GenerateFields(app string, n, shrink int, seed int64) ([]*datagen.Field, er
 
 // Server is the daemon: a scheduler plus its HTTP JSON API.
 //
-// Routes (all JSON):
+// Routes (JSON unless noted):
 //
 //	POST   /v1/campaigns            submit; 202 + JobStatus, 429 when full
 //	GET    /v1/campaigns            list every campaign's JobStatus
 //	GET    /v1/campaigns/{id}       one campaign's JobStatus
 //	GET    /v1/campaigns/{id}/watch NDJSON JobStatus stream until terminal
 //	POST   /v1/campaigns/{id}/cancel request cancellation; 202 + JobStatus
-//	GET    /v1/healthz              liveness probe
+//	GET    /v1/healthz              liveness probe (also at /healthz)
+//	GET    /healthz                 alias for /v1/healthz (probe convention)
+//	GET    /metrics                 Prometheus text exposition (per-tenant)
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
@@ -142,10 +144,23 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Liveness at both the versioned path and the bare conventional one —
+	// load balancers and container probes default to /healthz.
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}
+	s.mux.HandleFunc("GET /v1/healthz", healthz)
+	s.mux.HandleFunc("GET /healthz", healthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// handleMetrics renders the scheduler's registry in the Prometheus text
+// exposition format (version 0.0.4): scheduler series and every admitted
+// campaign's series, tenant-labeled.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.sched.Metrics().WritePrometheus(w)
 }
 
 // Scheduler exposes the underlying scheduler (tests and in-process use).

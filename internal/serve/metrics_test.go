@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ocelot/internal/core"
+	"ocelot/internal/wan"
+)
+
+// promLine matches one exposition sample: name, optional label set,
+// value.
+var promLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:_bucket|_sum|_count)?)(\{[^}]*\})? (\S+)$`)
+
+// parseExposition parses Prometheus text format into series → value,
+// failing the test on any malformed line.
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric kind in %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.Replace(m[3], "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[m[1]+m[2]] = v
+	}
+	return out
+}
+
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseExposition(t, string(body))
+}
+
+// TestMetricsScrapeUnderLoad runs 8 campaigns across two tenants while a
+// scraper goroutine hits /metrics concurrently: every scrape must parse,
+// per-tenant counters must be monotone across scrapes, and the final
+// exposition must account for every admission. Run under -race this also
+// proves scrapes do not contend with the instrumented hot paths.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	srv := NewServer(Config{
+		MaxRunning: 3,
+		Transport: &core.SimulatedWANTransport{
+			Link:      &wan.Link{BandwidthMBps: 500, Concurrency: 4},
+			Timescale: 1e-3,
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const perTenant = 4
+	tenants := []string{"climate", "physics"}
+	var ids []string
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range tenants {
+			resp := postJSON(t, ts.URL+"/v1/campaigns", SubmitRequest{
+				Tenant: tenant, Fields: 2, Shrink: 64, Seed: int64(i + 1),
+				Spec: SpecRequest{RelErrorBound: 1e-3, Workers: 2, Groups: 2},
+			})
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit %d for %s: status %d", i, tenant, resp.StatusCode)
+			}
+			ids = append(ids, decodeStatus(t, resp).ID)
+		}
+	}
+
+	// Scraper: hammer /metrics until told to stop, checking that every
+	// per-tenant counter is monotone non-decreasing between scrapes.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prev := map[string]float64{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := scrape(t, ts.URL)
+			for series, was := range prev {
+				if !strings.Contains(series, "_total") && !strings.Contains(series, "_count") {
+					continue
+				}
+				if now, ok := cur[series]; ok && now < was {
+					t.Errorf("counter %s went backwards: %g -> %g", series, was, now)
+				}
+			}
+			prev = cur
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for {
+			resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := decodeStatus(t, resp)
+			if st.Terminal {
+				if st.State != "done" {
+					t.Fatalf("campaign %s ended %q: %s", id, st.State, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s still %q at deadline", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	final := scrape(t, ts.URL)
+	for _, tenant := range tenants {
+		adm := fmt.Sprintf(`serve_admissions_total{tenant="%s"}`, tenant)
+		if got := final[adm]; got != perTenant {
+			t.Errorf("%s = %g, want %d", adm, got, perTenant)
+		}
+		active := fmt.Sprintf(`serve_active_campaigns{tenant="%s"}`, tenant)
+		if got := final[active]; got != 0 {
+			t.Errorf("%s = %g after completion, want 0", active, got)
+		}
+		raw := fmt.Sprintf(`campaign_raw_bytes_total{tenant="%s"}`, tenant)
+		if got := final[raw]; got <= 0 {
+			t.Errorf("%s = %g, want > 0 (campaign metrics not tenant-labeled)", raw, got)
+		}
+		qw := fmt.Sprintf(`serve_queue_wait_seconds_count{tenant="%s"}`, tenant)
+		if got := final[qw]; got != perTenant {
+			t.Errorf("%s = %g, want %d", qw, got, perTenant)
+		}
+	}
+}
+
+// TestHealthzAlias: both the versioned and the bare health route answer,
+// and the watch stream always carries explicit retry/failover counts.
+func TestHealthzAlias(t *testing.T) {
+	srv := NewServer(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/healthz", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestWatchStreamsRetryCounts asserts the NDJSON watch stream serializes
+// retries/failovers on every snapshot — a watcher's ledger needs the
+// explicit zero to distinguish "no faults" from "field absent".
+func TestWatchStreamsRetryCounts(t *testing.T) {
+	srv := NewServer(Config{})
+	srv.WatchInterval = 5 * time.Millisecond
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts.URL+"/v1/campaigns", SubmitRequest{
+		Tenant: "climate", Fields: 2, Shrink: 64, Seed: 1,
+		Spec: SpecRequest{RelErrorBound: 1e-3, Workers: 2, Groups: 2},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	id := decodeStatus(t, resp).ID
+	wresp, err := http.Get(ts.URL + "/v1/campaigns/" + id + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	sc := bufio.NewScanner(wresp.Body)
+	lines := 0
+	for sc.Scan() {
+		var snap map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("bad watch line %q: %v", sc.Text(), err)
+		}
+		var campaign map[string]json.RawMessage
+		if raw, ok := snap["campaign"]; ok && string(raw) != "null" {
+			if err := json.Unmarshal(raw, &campaign); err != nil {
+				t.Fatal(err)
+			}
+			for _, key := range []string{"retries", "failovers"} {
+				if _, ok := campaign[key]; !ok {
+					t.Fatalf("watch snapshot omits %q: %s", key, sc.Text())
+				}
+			}
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("watch stream carried no campaign snapshots")
+	}
+}

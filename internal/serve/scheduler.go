@@ -22,6 +22,7 @@ import (
 
 	"ocelot/internal/core"
 	"ocelot/internal/datagen"
+	"ocelot/internal/obs"
 )
 
 var (
@@ -77,6 +78,11 @@ type Config struct {
 	// names one), so a daemon restarted after a crash can resume unfinished
 	// campaigns from exactly what completed (Server.Recover).
 	JournalDir string
+	// Metrics is the registry the scheduler (and every campaign it admits)
+	// reports into, labeled per tenant; nil means a private registry the
+	// daemon's GET /metrics exposes. Supply one to aggregate several
+	// schedulers or to scrape in-process.
+	Metrics *obs.Registry
 }
 
 // Request is one campaign submission.
@@ -264,6 +270,7 @@ type Scheduler struct {
 	transport core.Transport
 	baseCtx   context.Context
 	baseStop  context.CancelFunc
+	metrics   *obs.Registry
 
 	mu      sync.Mutex
 	tenants map[string]*tenantState
@@ -293,16 +300,26 @@ func NewScheduler(cfg Config) *Scheduler {
 		// context is its own lifetime, and Close cancels it.
 		base = context.Background() //ocelotvet:ok ctxflow documented fallback root; callers embed via Config.BaseContext and Close cancels this one
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, stop := context.WithCancel(base)
 	return &Scheduler{
 		cfg:       cfg,
 		transport: transport,
 		baseCtx:   ctx,
 		baseStop:  stop,
+		metrics:   reg,
 		tenants:   make(map[string]*tenantState),
 		jobs:      make(map[string]*Job),
 	}
 }
+
+// Metrics is the scheduler's registry — per-tenant admission/queue/active
+// series plus every admitted campaign's own series, tenant-labeled. The
+// daemon's GET /metrics renders it.
+func (s *Scheduler) Metrics() *obs.Registry { return s.metrics }
 
 func (s *Scheduler) now() time.Time {
 	if s.cfg.Now != nil {
@@ -348,11 +365,19 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		return nil, errors.New("serve: scheduler closed")
 	}
 	if s.queued >= s.cfg.QueueDepth {
+		s.metrics.Counter("serve_rejections_total", obs.L("tenant", tenant)).Inc()
 		return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, s.queued)
 	}
 	s.nextID++
 	ts := s.tenantLocked(tenant)
 	spec.TransportWeight = ts.weight()
+	s.metrics.Counter("serve_admissions_total", obs.L("tenant", tenant)).Inc()
+	if spec.Obs == nil {
+		// Every admitted campaign reports into the shared registry under
+		// its tenant's label, so GET /metrics shows per-tenant campaign
+		// series without each campaign wiring its own bundle.
+		spec.Obs = &obs.Obs{Metrics: s.metrics.With(obs.L("tenant", tenant))}
+	}
 	if s.cfg.JournalDir != "" && spec.Journal == "" {
 		spec.Journal = filepath.Join(s.cfg.JournalDir, tenant, fmt.Sprintf("c-%d.ocjl", s.nextID))
 		spec.JournalMeta = req.Meta
@@ -431,8 +456,12 @@ func (s *Scheduler) dispatchLocked() {
 func (s *Scheduler) startLocked(j *Job, ts *tenantState) {
 	j.mu.Lock()
 	j.started = s.now()
+	wait := j.started.Sub(j.submitted).Seconds()
 	canceled := j.canceled
 	j.mu.Unlock()
+	active := s.metrics.Gauge("serve_active_campaigns", obs.L("tenant", j.tenant))
+	s.metrics.Histogram("serve_queue_wait_seconds", obs.L("tenant", j.tenant)).Observe(wait)
+	active.Add(1)
 
 	finish := func(h *core.Campaign, err error) {
 		// Runs unlocked; settles the job and returns capacity.
@@ -442,6 +471,7 @@ func (s *Scheduler) startLocked(j *Job, ts *tenantState) {
 		j.finished = true
 		j.mu.Unlock()
 		close(j.done)
+		active.Add(-1)
 		s.mu.Lock()
 		ts.running--
 		ts.runningBytes -= j.rawBytes

@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"ocelot/internal/obs"
 )
 
 // FaultWindow is a half-open interval [StartSec, EndSec) on the link's
@@ -107,6 +109,22 @@ type Injector struct {
 	faults Faults
 	mu     sync.Mutex
 	rng    *rand.Rand
+
+	// Metric handles installed by SetMetrics (nil-safe no-ops otherwise).
+	windowsHit *obs.Counter
+	flapDrops  *obs.Counter
+}
+
+// SetMetrics installs a metrics registry: SendError counts every outage
+// window hit (wan_fault_windows_hit_total) and flap drop
+// (wan_flap_drops_total). Call before the injector is shared; a nil
+// injector or registry is a no-op.
+func (in *Injector) SetMetrics(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	in.windowsHit = reg.Counter("wan_fault_windows_hit_total")
+	in.flapDrops = reg.Counter("wan_flap_drops_total")
 }
 
 // NewInjector builds an injector for a validated fault schedule.
@@ -129,6 +147,7 @@ func (in *Injector) SendError(t float64) error {
 	}
 	for _, w := range in.faults.Outages {
 		if w.contains(t) {
+			in.windowsHit.Inc()
 			return &FaultError{Reason: "outage", AtSec: t}
 		}
 	}
@@ -137,6 +156,7 @@ func (in *Injector) SendError(t float64) error {
 		hit := in.rng.Float64() < p
 		in.mu.Unlock()
 		if hit {
+			in.flapDrops.Inc()
 			return &FaultError{Reason: "flap", AtSec: t}
 		}
 	}

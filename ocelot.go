@@ -31,6 +31,7 @@ import (
 	"ocelot/internal/faas"
 	"ocelot/internal/journal"
 	"ocelot/internal/metrics"
+	"ocelot/internal/obs"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
 	"ocelot/internal/sentinel"
@@ -287,6 +288,53 @@ func Run(ctx context.Context, fields []*Field, spec CampaignSpec) (*CampaignResu
 func Submit(ctx context.Context, fields []*Field, spec CampaignSpec) (*Campaign, error) {
 	return core.Submit(ctx, fields, spec)
 }
+
+// --- Observability: tracing, metrics, profiling ---
+
+// Observability bundles a span tracer and a metrics registry. Set it on
+// CampaignSpec.Obs to trace and meter a campaign end to end; a nil
+// bundle (the default) keeps every instrumentation site at pointer-check
+// cost.
+type Observability = obs.Obs
+
+// Tracer records spans. A disabled tracer costs one atomic load per
+// StartSpan, so instrumented code paths may leave tracing wired in.
+type Tracer = obs.Tracer
+
+// Span is one traced operation; End it exactly once on every return
+// path.
+type Span = obs.Span
+
+// SpanRecord is one finished span as exported to Chrome trace / NDJSON.
+type SpanRecord = obs.SpanRecord
+
+// TraceAttr is a typed span attribute.
+type TraceAttr = obs.Attr
+
+// NewTracer returns an enabled span tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// TraceString builds a string span attribute.
+func TraceString(key, value string) TraceAttr { return obs.String(key, value) }
+
+// TraceInt builds an integer span attribute.
+func TraceInt(key string, value int64) TraceAttr { return obs.Int(key, value) }
+
+// TraceFloat builds a float span attribute.
+func TraceFloat(key string, value float64) TraceAttr { return obs.Float(key, value) }
+
+// MetricsRegistry is an atomic counter/gauge/histogram registry with
+// Prometheus text exposition (WritePrometheus) and snapshotting.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one name=value metric label.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricL builds a metric label.
+func MetricL(name, value string) MetricLabel { return obs.L(name, value) }
 
 // --- Fault tolerance: journal, retry, fault injection ---
 

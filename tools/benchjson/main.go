@@ -14,10 +14,13 @@
 //   - BENCH_resume.json — the FaultResume artifact: crash-resume digest
 //     identity, resume wall vs full-rerun wall, resent-bytes fraction,
 //     flap-retry counts, and permanent-failure fail-fast attempts.
+//   - BENCH_obs.json — the ObsOverhead artifact: instrumented-but-disabled
+//     vs baseline campaign wall (overhead_frac, acceptance < 0.02) plus
+//     span and metric-series coverage from one enabled run.
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json] [-resume-out BENCH_resume.json]
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json] [-resume-out BENCH_resume.json] [-obs-out BENCH_obs.json]
 //
 // Passing an empty string for either output path skips that artifact. The
 // Makefile's bench-json target is the canonical invocation.
@@ -99,6 +102,7 @@ func run(args []string) error {
 	hotOut := fs.String("hotpath-out", "BENCH_hotpath.json", "entropy hot-path output path (empty = skip)")
 	serveOut := fs.String("serve-out", "BENCH_serve.json", "multi-tenant serve fairness output path (empty = skip)")
 	resumeOut := fs.String("resume-out", "BENCH_resume.json", "fault-tolerance crash-resume output path (empty = skip)")
+	obsOut := fs.String("obs-out", "BENCH_obs.json", "observability overhead output path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,6 +142,15 @@ func run(args []string) error {
 		fmt.Printf("wrote %s: %d metrics (resume %.3fs vs full %.3fs, resent %.0f%%, %d flap retries)\n",
 			*resumeOut, len(res.Values), res.Values["resume_wall_sec"], res.Values["full_wall_sec"],
 			res.Values["resent_fraction"]*100, int(res.Values["flap_retries"]))
+	}
+	if *obsOut != "" {
+		res, err := writeArtifact(experiments.ObsOverhead, *obsOut, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (overhead %+.2f%%, %d spans, %d series enabled)\n",
+			*obsOut, len(res.Values), res.Values["overhead_frac"]*100,
+			int(res.Values["enabled_spans"]), int(res.Values["metrics_series"]))
 	}
 	return nil
 }

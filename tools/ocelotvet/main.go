@@ -1,9 +1,10 @@
 // Command ocelotvet is the project's invariant checker: a multichecker
-// running four analyzers that encode the bug classes PRs 2–6 paid to
+// running five analyzers that encode the bug classes PRs 2–6 paid to
 // learn — alloccap (stream-sized allocations need payload bounds),
 // poolsafe (pooled resources release on every path), ctxflow (blocking
-// orchestration code observes cancellation), and boundres (relative
-// error bounds resolve only through sz.Config.AbsoluteBound).
+// orchestration code observes cancellation), boundres (relative error
+// bounds resolve only through sz.Config.AbsoluteBound), and spanend
+// (obs spans End on every return path).
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ import (
 	"ocelot/tools/ocelotvet/internal/analysis"
 	"ocelot/tools/ocelotvet/internal/load"
 	"ocelot/tools/ocelotvet/poolsafe"
+	"ocelot/tools/ocelotvet/spanend"
 )
 
 // Analyzers is the ocelotvet suite in reporting order.
@@ -36,6 +38,7 @@ var Analyzers = []*analysis.Analyzer{
 	poolsafe.Analyzer,
 	ctxflow.Analyzer,
 	boundres.Analyzer,
+	spanend.Analyzer,
 }
 
 // Targets restricts an analyzer to the packages whose invariant it

@@ -1,0 +1,199 @@
+// Package spanend enforces the tracing discipline internal/obs
+// introduced: every span acquired with StartSpan must be ended exactly on
+// every return path — a span that is never End()ed silently vanishes from
+// the export (its parent's children mis-nest in the Chrome view), and a
+// span ended on only some paths skews duration percentiles in a way no
+// test catches.
+//
+// The checker tracks, per function body (closures are checked
+// independently), each StartSpan result bound to a *Span variable and
+// every End() of that variable, deferred or inline. A return after an
+// acquisition with no dominating End is flagged unless it transfers the
+// span to the caller (returns it as a direct result). A span with no End
+// anywhere in its body and no transferring return is flagged at the
+// acquisition site — the fall-off-the-end leak.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ocelot/tools/ocelotvet/internal/analysis"
+)
+
+// Analyzer is the spanend checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "flags obs spans (StartSpan results) not End()ed on every return path",
+	Run:  run,
+}
+
+// spanAcq is one tracked StartSpan acquisition.
+type spanAcq struct {
+	obj types.Object // the *Span variable
+	pos token.Pos    // acquisition site
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body. Nested function literals are
+// recursed into as independent bodies and excluded from the enclosing
+// scan: a closure's return paths end its own spans, not its parent's.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acquires []*spanAcq
+	ends := map[types.Object][]token.Pos{}
+	var returns []*ast.ReturnStmt
+
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBody(pass, n.Body)
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isStartSpan(pass, call) {
+					continue
+				}
+				for _, lhs := range n.Lhs {
+					if obj := defObj(pass, lhs); obj != nil && isSpanPtr(obj.Type()) {
+						acquires = append(acquires, &spanAcq{obj: obj, pos: call.Pos()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if obj := endReceiver(pass, n); obj != nil {
+				ends[obj] = append(ends[obj], n.Pos())
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+	if len(acquires) == 0 {
+		return
+	}
+
+	for _, a := range acquires {
+		transferred := false
+		for _, ret := range returns {
+			if ret.Pos() >= a.pos && transfers(pass, ret, a.obj) {
+				transferred = true
+			}
+		}
+		if len(ends[a.obj]) == 0 {
+			if !transferred {
+				pass.Reportf(a.pos, "span %s is never End()ed in this function (defer %s.End() after StartSpan)", a.obj.Name(), a.obj.Name())
+			}
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() < a.pos {
+				continue
+			}
+			if endedBefore(ends[a.obj], ret.Pos()) || transfers(pass, ret, a.obj) {
+				continue
+			}
+			pass.Reportf(ret.Pos(), "span %s (started at line %d) is not End()ed on this return path", a.obj.Name(), pass.Fset.Position(a.pos).Line)
+		}
+	}
+}
+
+// isStartSpan reports whether call invokes a function or method named
+// StartSpan — the obs package function, (*Tracer).StartSpan, or
+// (*Obs).StartSpan all match by name, which also keeps the golden
+// testdata self-contained.
+func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn != nil && fn.Name() == "StartSpan"
+}
+
+// isSpanPtr reports whether t is a pointer to a named type called Span.
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// endReceiver returns the tracked variable a `sp.End()` call ends, if
+// any.
+func endReceiver(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isSpanPtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// transfers reports whether ret hands the span to the caller as a direct
+// result — ownership (and the End obligation) moves with it.
+func transfers(pass *analysis.Pass, ret *ast.ReturnStmt, obj types.Object) bool {
+	for _, r := range ret.Results {
+		if id, ok := unparen(r).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func endedBefore(events []token.Pos, pos token.Pos) bool {
+	for _, p := range events {
+		if p < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func defObj(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}

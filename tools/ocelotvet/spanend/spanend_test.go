@@ -1,0 +1,11 @@
+package spanend
+
+import (
+	"testing"
+
+	"ocelot/tools/ocelotvet/internal/analysistest"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "s")
+}

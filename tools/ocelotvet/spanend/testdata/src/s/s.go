@@ -1,0 +1,108 @@
+// Package s is spanend golden data: StartSpan results must be End()ed on
+// every return path, mirroring the internal/obs tracing discipline.
+package s
+
+import "context"
+
+// Span mimics obs.Span; spanend matches the *Span-typed StartSpan result
+// by name.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// Annotate mimics attaching attributes after the fact.
+func (s *Span) Annotate() {}
+
+// Tracer mimics obs.Tracer.
+type Tracer struct{}
+
+// StartSpan mimics obs's tracer method: context plus a live span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// StartSpan mimics obs's package-level helper.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+var tr = &Tracer{}
+
+// --- positive cases ---
+
+// LeakEarlyReturn ends the span on the happy path only.
+func LeakEarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := tr.StartSpan(ctx, "work")
+	if fail {
+		return nil // want `span sp .* is not End\(\)ed on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// NeverEnded starts a span and falls off the end without finishing it.
+func NeverEnded(ctx context.Context) {
+	_, sp := StartSpan(ctx, "work") // want `span sp is never End\(\)ed in this function`
+	sp.Annotate()
+}
+
+// LeakInLoop ends only outside the loop body's early return.
+func LeakInLoop(ctx context.Context, items []int) int {
+	for range items {
+		_, sp := tr.StartSpan(ctx, "item")
+		if len(items) > 3 {
+			return 0 // want `span sp .* is not End\(\)ed on this return path`
+		}
+		sp.End()
+	}
+	return len(items)
+}
+
+// --- negative cases ---
+
+// OKDefer covers every path with one defer.
+func OKDefer(ctx context.Context, fail bool) error {
+	ctx, sp := tr.StartSpan(ctx, "work")
+	defer sp.End()
+	_ = ctx
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// OKInlineBothPaths ends inline before each return.
+func OKInlineBothPaths(ctx context.Context, fail bool) error {
+	_, sp := StartSpan(ctx, "work")
+	sp.Annotate()
+	sp.End()
+	if fail {
+		return nil
+	}
+	return nil
+}
+
+// OKTransfer hands the live span to the caller, who owns End now.
+func OKTransfer(ctx context.Context) (context.Context, *Span) {
+	ctx, sp := tr.StartSpan(ctx, "work")
+	return ctx, sp
+}
+
+// OKClosure scopes a per-item span to a closure with its own defer; the
+// enclosing function's returns owe it nothing.
+func OKClosure(ctx context.Context, items []int) error {
+	for range items {
+		if err := func() error {
+			_, sp := tr.StartSpan(ctx, "item")
+			defer sp.End()
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OKNoSpan never starts a span.
+func OKNoSpan(ctx context.Context) error { return nil }
