@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-hotpath bench-serve bench-resume bench-obs fuzz-smoke lint cover tier1 plan-smoke serve-smoke resume-smoke doc-check
+.PHONY: build test race bench bench-json bench-hotpath bench-serve bench-resume bench-obs bench-integrity fuzz-smoke lint cover tier1 plan-smoke serve-smoke resume-smoke integrity-smoke doc-check
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,8 @@ bench:
 bench-json:
 	$(GO) run ./tools/benchjson -shrink 24 -out BENCH_codecs.json \
 		-hotpath-out BENCH_hotpath.json -serve-out BENCH_serve.json \
-		-resume-out BENCH_resume.json -obs-out BENCH_obs.json
+		-resume-out BENCH_resume.json -obs-out BENCH_obs.json \
+		-integrity-out BENCH_integrity.json
 
 # Multi-tenant serve load test alone: regenerates BENCH_serve.json (Jain
 # fairness index, per-tenant and aggregate MB/s, cancel latency).
@@ -49,24 +50,34 @@ bench-obs:
 	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
 		-serve-out '' -resume-out '' -obs-out BENCH_obs.json
 
+# End-to-end integrity artifact alone: regenerates BENCH_integrity.json
+# (corrupted-link digest identity, injected-vs-detected reconciliation,
+# retransmit ledger, bound-guarantee quarantine coverage).
+bench-integrity:
+	$(GO) run ./tools/benchjson -shrink 24 -out '' -hotpath-out '' \
+		-serve-out '' -resume-out '' -obs-out '' \
+		-integrity-out BENCH_integrity.json
+
 # Entropy hot-path throughput benchmarks in smoke mode: compile and run
 # each once so the tracked figures cannot rot between bench-json refreshes.
 bench-hotpath:
 	$(GO) test -run='^$$' -bench='BenchmarkHuffmanEncode|BenchmarkHuffmanDecode|BenchmarkSZ3Throughput' \
 		-benchtime=1x .
 
-# Short fuzz pass over the stream parsers, the daemon wire layer, and the
-# campaign journal: crafted streams (including unknown codec magic),
-# arbitrary HTTP bodies, and corrupted journal manifests must error, never
-# panic. Each target fuzzes briefly from its checked-in seed corpus
+# Short fuzz pass over the stream parsers, the daemon wire layer, the
+# campaign journal, and the archive integrity frame: crafted streams
+# (including unknown codec magic), arbitrary HTTP bodies, corrupted journal
+# manifests, and mutated OCIF frames must error, never panic. Each target
+# fuzzes briefly from its checked-in seed corpus
 # (internal/sz/testdata/fuzz, internal/serve/testdata/fuzz,
-# internal/journal/testdata/fuzz).
+# internal/journal/testdata/fuzz, internal/integrity/testdata/fuzz).
 fuzz-smoke:
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzHeaderParse -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzSplitChunked -fuzztime=5s
 	$(GO) test ./internal/sz -run='^$$' -fuzz=FuzzDecompress -fuzztime=10s
 	$(GO) test ./internal/serve -run='^$$' -fuzz=FuzzServeAPI -fuzztime=5s
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzJournalManifest -fuzztime=5s
+	$(GO) test ./internal/integrity -run='^$$' -fuzz=FuzzIntegrityFrame -fuzztime=5s
 
 # Static gate: gofmt, go vet, and the project's own invariant analyzers
 # (tools/ocelotvet — alloc caps, pool discipline, context flow, bound
@@ -97,7 +108,7 @@ tier1:
 doc-check:
 	$(GO) run ./tools/doccheck . ./internal/core ./internal/planner \
 		./internal/codec ./internal/szx ./internal/serve \
-		./internal/journal ./internal/obs \
+		./internal/journal ./internal/obs ./internal/integrity \
 		./tools/ocelotvet ./tools/ocelotvet/alloccap \
 		./tools/ocelotvet/poolsafe ./tools/ocelotvet/ctxflow \
 		./tools/ocelotvet/boundres ./tools/ocelotvet/spanend \
@@ -137,6 +148,22 @@ resume-smoke:
 	grep -q 'resumed from' $$tmp/resume.out; \
 	grep -q 'recon digest' $$tmp/resume.out; \
 	echo "resume-smoke: ok"
+
+# Corruption-recovery smoke through the real CLI: run a campaign over a
+# link that corrupts half its deliveries and check the integrity ledger
+# reports detected corruptions and retransmits. Digest identity and
+# only-corrupted-resent are asserted by the Integrity artifact and the
+# core property tests; this target proves the flags wire through the
+# shipped binary.
+integrity-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ocelot ./cmd/ocelot; \
+	$$tmp/ocelot campaign -app CESM -fields 8 -shrink 40 -pipeline -groups 8 \
+		-route 'Anvil->Bebop' -timescale -1 -seed 7 \
+		-corrupt-prob 0.5 -retries 8 | tee $$tmp/integrity.out; \
+	grep -q 'integrity: .* corrupted group(s) detected' $$tmp/integrity.out; \
+	grep -q 'max relative error' $$tmp/integrity.out; \
+	echo "integrity-smoke: ok"
 
 # Planner smoke: train-on-sweep + plan + adaptive campaign on small
 # synthetic fields, so the closed predict-then-transfer loop can't rot.

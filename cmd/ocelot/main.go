@@ -46,6 +46,7 @@ import (
 	"ocelot/internal/obs"
 	"ocelot/internal/planner"
 	"ocelot/internal/quality"
+	"ocelot/internal/sentinel"
 	"ocelot/internal/sz"
 	"ocelot/internal/wan"
 )
@@ -465,6 +466,10 @@ func cmdCampaign(args []string) error {
 	chunkMB := fs.Float64("chunk-mb", 0, "chunk-parallel compression: raw MB per chunk fanned out over the faas endpoint (0 = monolithic fields)")
 	compressWorkers := fs.Int("compress-workers", 0, "fan-out endpoint workers for chunk compression (0 = -workers)")
 	codecList := fs.String("codec", "sz3", "compressor for fixed campaigns; with -adaptive a comma-separated candidate grid (e.g. sz3,szx); valid: "+strings.Join(codec.Names(), ", "))
+	corruptProb := fs.Float64("corrupt-prob", 0, "fault drill: corrupt each delivered archive with this probability (requires -route)")
+	retries := fs.Int("retries", 0, "max attempts per transient failure, including retransmits of corrupted archives (0 = default policy)")
+	boundAudit := fs.Int("bound-audit", 0, "post-decompress bound audit stride: 1 checks every point, N samples every Nth (0 = full audit, the default)")
+	quarantine := fs.Bool("quarantine", false, "re-ship bound-violating fields lossless instead of failing the campaign")
 	journalPath := fs.String("journal", "", "write a durable campaign journal to this path")
 	resumeFrom := fs.String("resume", "", "resume an interrupted campaign from this journal (typically the -journal path)")
 	killAfter := fs.Int64("kill-after-groups", 0, "crash drill: cancel once this many groups are sent (requires -journal)")
@@ -530,11 +535,21 @@ func cmdCampaign(args []string) error {
 		CompressWorkers: *compressWorkers,
 		Journal:         *journalPath,
 		ResumeFrom:      *resumeFrom,
+		BoundAudit:      core.BoundAudit{Stride: *boundAudit, Quarantine: *quarantine},
+	}
+	if *retries > 0 {
+		spec.Retry = sentinel.RetryPolicy{MaxAttempts: *retries}
+	}
+	if *corruptProb > 0 && *route == "" {
+		return errors.New("campaign: -corrupt-prob requires -route (corruption is injected on the simulated link)")
 	}
 	if *route != "" {
 		link, ok := wan.StandardLinks()[*route]
 		if !ok {
 			return fmt.Errorf("campaign: unknown route %q (have: Anvil->Cori, Anvil->Bebop, Bebop->Cori, Cori->Bebop)", *route)
+		}
+		if *corruptProb > 0 {
+			link.Faults = &wan.Faults{CorruptProb: *corruptProb, CorruptMode: wan.CorruptMix, Seed: *seed}
 		}
 		spec.Transport = &core.SimulatedWANTransport{Link: link, Timescale: *timescale}
 	}
@@ -645,6 +660,14 @@ func cmdCampaign(args []string) error {
 	}
 	if res.Retries > 0 || res.Failovers > 0 {
 		fmt.Printf("fault recovery: %d transient retries, %d endpoint failovers\n", res.Retries, res.Failovers)
+	}
+	if res.CorruptGroups > 0 {
+		fmt.Printf("integrity: %d corrupted group(s) detected, %d retransmit(s), %.1f MB resent\n",
+			res.CorruptGroups, res.Retransmits, float64(res.RetransmitBytes)/1e6)
+	}
+	if len(res.DegradedFields) > 0 {
+		fmt.Printf("bound audit: %d field(s) quarantined and re-shipped lossless (%.1f MB): %s\n",
+			len(res.DegradedFields), float64(res.DegradedBytes)/1e6, strings.Join(res.DegradedFields, ", "))
 	}
 	if res.ReconDigest != 0 {
 		fmt.Printf("recon digest: %016x\n", res.ReconDigest)

@@ -358,6 +358,12 @@ func printJobStatus(st serve.JobStatus) {
 		if c.Retries > 0 || c.Failovers > 0 {
 			line += fmt.Sprintf("  %d retries/%d failovers", c.Retries, c.Failovers)
 		}
+		if c.CorruptGroups > 0 {
+			line += fmt.Sprintf("  %d corrupt/%d resent", c.CorruptGroups, c.Retransmits)
+		}
+		if c.DegradedFields > 0 {
+			line += fmt.Sprintf("  %d quarantined", c.DegradedFields)
+		}
 		for _, s := range c.Stages {
 			if s.Name == "transfer" && s.MBps > 0 {
 				line += fmt.Sprintf("  (%.1f MB/s)", s.MBps)

@@ -95,6 +95,17 @@ type CampaignResult struct {
 	Retries       int   // transient retries across transfer sends and fan-out
 	Failovers     int   // endpoint failovers across transfer sends
 
+	// End-to-end integrity accounting (populated when the integrity frame
+	// is on — the default; see CampaignSpec.NoIntegrity/BoundAudit).
+	// SentBytes-style accounting stays exact under corruption:
+	// campaign_sent_bytes_total = GroupedBytes + RetransmitBytes +
+	// DegradedBytes, since every delivery is counted once.
+	CorruptGroups   int      // groups whose delivery failed checksum verification at least once
+	Retransmits     int      // successful re-deliveries of corrupted groups
+	RetransmitBytes int64    // bytes those re-deliveries shipped
+	DegradedFields  []string // members the bound audit quarantined and re-shipped lossless
+	DegradedBytes   int64    // bytes the lossless quarantine escapes shipped
+
 	// Planner accounting (populated by RunPlannedCampaign): the plan's
 	// predictions beside the measured outcome, so every adaptive run
 	// reports predicted vs. actual.

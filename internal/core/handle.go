@@ -84,6 +84,12 @@ type CampaignStatus struct {
 	// zero to distinguish "no faults" from "field absent".
 	Retries   int64 `json:"retries"`
 	Failovers int64 `json:"failovers"`
+	// Integrity counters, same unconditional-zero contract: corrupted group
+	// deliveries detected so far, successful retransmits of those groups,
+	// and fields the bound audit quarantined lossless.
+	CorruptGroups  int64 `json:"corruptGroups"`
+	Retransmits    int64 `json:"retransmits"`
+	DegradedFields int64 `json:"degradedFields"`
 	// Stages is the live per-stage timing/throughput ledger (nil until the
 	// stage graph starts).
 	Stages []StageTiming `json:"stages,omitempty"`
@@ -240,13 +246,16 @@ func (c *Campaign) Status() CampaignStatus {
 	c.mu.Unlock()
 
 	st := CampaignStatus{
-		State:      state,
-		Fields:     len(c.fields),
-		RawBytes:   c.rawBytes,
-		SentGroups: c.progress.sentGroups.Load(),
-		SentBytes:  c.progress.sentBytes.Load(),
-		Retries:    c.progress.retries.Load(),
-		Failovers:  c.progress.failovers.Load(),
+		State:          state,
+		Fields:         len(c.fields),
+		RawBytes:       c.rawBytes,
+		SentGroups:     c.progress.sentGroups.Load(),
+		SentBytes:      c.progress.sentBytes.Load(),
+		Retries:        c.progress.retries.Load(),
+		Failovers:      c.progress.failovers.Load(),
+		CorruptGroups:  c.progress.corruptGroups.Load(),
+		Retransmits:    c.progress.retransmits.Load(),
+		DegradedFields: c.progress.degraded.Load(),
 	}
 	end := c.now()
 	if state.Terminal() && !finished.IsZero() {

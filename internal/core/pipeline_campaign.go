@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -14,7 +15,9 @@ import (
 	"ocelot/internal/datagen"
 	"ocelot/internal/faas"
 	"ocelot/internal/grouping"
+	"ocelot/internal/integrity"
 	"ocelot/internal/journal"
+	"ocelot/internal/lossless"
 	"ocelot/internal/metrics"
 	"ocelot/internal/obs"
 	"ocelot/internal/pipeline"
@@ -106,6 +109,12 @@ type campaignMode struct {
 	// obs, when set, records lifecycle spans and campaign metrics
 	// (CampaignSpec.Obs). nil costs pointer checks only.
 	obs *obs.Obs
+	// integrity frames every packed archive with CRC-32C digests at pack
+	// time and verifies the frame before decompressing (on unless
+	// CampaignSpec.NoIntegrity); audit tunes the post-decompress pointwise
+	// bound audit and its quarantine escape.
+	integrity bool
+	audit     BoundAudit
 }
 
 // campaignMetrics holds the campaign counters resolved once per run, so
@@ -119,6 +128,10 @@ type campaignMetrics struct {
 	chunks          *obs.Counter   // campaign_chunks_total
 	fields          *obs.Counter   // campaign_fields_total
 	sendSeconds     *obs.Histogram // campaign_send_seconds
+	corruptions     *obs.Counter   // campaign_corruption_detected_total
+	retransmits     *obs.Counter   // campaign_retransmits_total
+	auditFailures   *obs.Counter   // campaign_bound_audit_failures_total
+	degradedFields  *obs.Counter   // campaign_degraded_fields_total
 }
 
 // newCampaignMetrics resolves the campaign metric family against the
@@ -132,16 +145,23 @@ func newCampaignMetrics(o *obs.Obs) campaignMetrics {
 		chunks:          o.Counter("campaign_chunks_total"),
 		fields:          o.Counter("campaign_fields_total"),
 		sendSeconds:     o.Histogram("campaign_send_seconds"),
+		corruptions:     o.Counter("campaign_corruption_detected_total"),
+		retransmits:     o.Counter("campaign_retransmits_total"),
+		auditFailures:   o.Counter("campaign_bound_audit_failures_total"),
+		degradedFields:  o.Counter("campaign_degraded_fields_total"),
 	}
 }
 
 // campaignProgress carries the live mid-run counters a Campaign handle's
 // Status surfaces; the stage workers update it atomically.
 type campaignProgress struct {
-	sentBytes  atomic.Int64 // archive bytes accepted by the transport
-	sentGroups atomic.Int64 // archives shipped so far
-	retries    atomic.Int64 // transient retries across transfer + fan-out
-	failovers  atomic.Int64 // endpoint failovers across sends
+	sentBytes     atomic.Int64 // archive bytes accepted by the transport
+	sentGroups    atomic.Int64 // archives shipped so far
+	retries       atomic.Int64 // transient retries across transfer + fan-out
+	failovers     atomic.Int64 // endpoint failovers across sends
+	corruptGroups atomic.Int64 // groups whose delivery failed checksum verification
+	retransmits   atomic.Int64 // successful re-deliveries of corrupted groups
+	degraded      atomic.Int64 // fields quarantined lossless by the bound audit
 }
 
 // chunkMode derives the chunk fan-out portion of a campaignMode from the
@@ -229,12 +249,26 @@ type packedGroup struct {
 type sentGroup struct {
 	packedGroup
 	linkSec float64
+	// delivered is what actually arrived at the destination — the verify
+	// stage checksums these bytes, not the send buffer, so in-flight
+	// corruption is observable. nil (plain Transport) means the archive
+	// arrived as offered.
+	delivered []byte
 }
 
 type verifiedGroup struct {
 	members int
 	maxRel  float64
 	minPSNR float64
+	// Integrity ledger: corrupt marks a group whose delivery failed
+	// checksum verification at least once; retransmits/retransmitBytes
+	// count its successful re-deliveries; degraded names members the bound
+	// audit quarantined, with degradedBytes their lossless re-ship cost.
+	corrupt         bool
+	retransmits     int
+	retransmitBytes int64
+	degraded        []string
+	degradedBytes   int64
 }
 
 // packState accumulates grouping bookkeeping; it is only touched by the
@@ -256,6 +290,10 @@ type packState struct {
 	journal *journal.Writer
 	// obs records one "pack" span per emitted group (nil = off).
 	obs *obs.Obs
+	// integrity wraps each packed archive in a CRC-32C frame at pack time;
+	// the journal's group digest then covers the framed bytes — exactly
+	// what the transport ships and the verify stage checks.
+	integrity bool
 }
 
 func (ps *packState) emitGroup(ctx context.Context, idxs []int, emit func(packedGroup) error) error {
@@ -271,6 +309,19 @@ func (ps *packState) emitGroup(ctx context.Context, idxs []int, emit func(packed
 	if err != nil {
 		return err
 	}
+	var frameCRC uint32
+	if ps.integrity {
+		// Frame the archive at pack time: per-member CRC-32C digests plus a
+		// payload digest, all checked before a byte is decompressed. The
+		// journal digest below covers the framed bytes — the exact wire
+		// payload — so journal, frame, and transport agree on one identity.
+		sums := make([]uint32, len(members))
+		for k, m := range members {
+			sums[k] = integrity.Checksum(m.Data)
+		}
+		frameCRC = integrity.Checksum(arch)
+		arch = integrity.Wrap(arch, sums)
+	}
 	span.Annotate(obs.Int("bytes", int64(len(arch))))
 	ps.groupedBytes += int64(len(arch))
 	ps.plan = append(ps.plan, idxs)
@@ -278,7 +329,7 @@ func (ps *packState) emitGroup(ctx context.Context, idxs []int, emit func(packed
 	g := packedGroup{id: ps.nextID, idxs: idxs, archive: arch}
 	ps.nextID++
 	if ps.journal != nil {
-		if err := ps.journal.Group(g.id, idxs, byteDigest(arch), int64(len(arch))); err != nil {
+		if err := ps.journal.Group(g.id, idxs, byteDigest(arch), frameCRC, int64(len(arch))); err != nil {
 			return err
 		}
 	}
@@ -458,6 +509,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	}
 	ps.journal = jw
 	ps.obs = mode.obs
+	ps.integrity = mode.integrity
 
 	// Observability: the root span covers the whole stage graph (the ctx
 	// rebind parents every stage and per-item span under it), and the
@@ -572,57 +624,76 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 	// counters advance only on success, so a retried send never
 	// double-counts SentBytes.
 	transports := append([]Transport{mode.transport}, mode.fallbacks...)
-	send := func(ctx context.Context, tr Transport, name string, data []byte) (float64, error) {
-		if wt, ok := tr.(WeightedTransport); ok && mode.weight > 0 {
-			return wt.SendWeighted(ctx, name, data, mode.weight)
+	send := func(ctx context.Context, tr Transport, name string, data []byte) ([]byte, float64, error) {
+		if dt, ok := tr.(DeliveredTransport); ok {
+			return dt.SendDelivered(ctx, name, data, mode.weight)
 		}
-		return tr.Send(ctx, name, data)
+		if wt, ok := tr.(WeightedTransport); ok && mode.weight > 0 {
+			sec, err := wt.SendWeighted(ctx, name, data, mode.weight)
+			return data, sec, err
+		}
+		sec, err := tr.Send(ctx, name, data)
+		return data, sec, err
 	}
 	var linkMu sync.Mutex
 	var linkSec float64
+	// ship moves one named payload with the full retry/failover budget and
+	// returns the bytes that actually arrived. Every successful delivery —
+	// first send, corruption retransmit, or quarantine escape — flows
+	// through here, so link seconds and SentBytes account each one exactly
+	// once, while retries never double-count.
+	ship := func(ctx context.Context, name string, payload []byte) ([]byte, float64, error) {
+		var sec float64
+		var delivered []byte
+		var attempt int64
+		r, f, err := sentinel.Failover(ctx, mode.retry, len(transports),
+			func(ctx context.Context, ep int) error {
+				// One child span per attempt, so retries and failovers
+				// are visible in the trace as repeated sends under the
+				// group's transfer span.
+				attempt++
+				actx, asp := mode.obs.StartSpan(ctx, "send",
+					obs.Int("attempt", attempt), obs.Int("endpoint", int64(ep)))
+				start := now()
+				d, s, sendErr := send(actx, transports[ep], name, payload)
+				cm.sendSeconds.Observe(now().Sub(start).Seconds())
+				if sendErr == nil {
+					delivered, sec = d, s
+				} else {
+					asp.Annotate(obs.String("error", sendErr.Error()))
+				}
+				asp.End()
+				return sendErr
+			})
+		retriesTotal.Add(int64(r))
+		failoversTotal.Add(int64(f))
+		if mode.progress != nil {
+			mode.progress.retries.Add(int64(r))
+			mode.progress.failovers.Add(int64(f))
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		linkMu.Lock()
+		linkSec += sec
+		linkMu.Unlock()
+		cm.sentBytes.Add(int64(len(payload)))
+		if mode.progress != nil {
+			mode.progress.sentBytes.Add(int64(len(payload)))
+		}
+		return delivered, sec, nil
+	}
 	sent := pipeline.Stage(g, pipeline.Config{Name: "transfer", Workers: mode.transferStreams, Buffer: buffer}, packed,
 		func(ctx context.Context, pg packedGroup) (sentGroup, error) {
 			ctx, span := mode.obs.StartSpan(ctx, "transfer",
 				obs.Int("group", int64(pg.id)), obs.Int("bytes", int64(len(pg.archive))))
 			defer span.End()
-			name := fmt.Sprintf("group-%04d.ocgr", pg.id)
-			var sec float64
-			var attempt int64
-			r, f, err := sentinel.Failover(ctx, mode.retry, len(transports),
-				func(ctx context.Context, ep int) error {
-					// One child span per attempt, so retries and failovers
-					// are visible in the trace as repeated sends under the
-					// group's transfer span.
-					attempt++
-					actx, asp := mode.obs.StartSpan(ctx, "send",
-						obs.Int("attempt", attempt), obs.Int("endpoint", int64(ep)))
-					start := now()
-					s, sendErr := send(actx, transports[ep], name, pg.archive)
-					cm.sendSeconds.Observe(now().Sub(start).Seconds())
-					if sendErr == nil {
-						sec = s
-					} else {
-						asp.Annotate(obs.String("error", sendErr.Error()))
-					}
-					asp.End()
-					return sendErr
-				})
-			retriesTotal.Add(int64(r))
-			failoversTotal.Add(int64(f))
-			if mode.progress != nil {
-				mode.progress.retries.Add(int64(r))
-				mode.progress.failovers.Add(int64(f))
-			}
+			delivered, sec, err := ship(ctx, fmt.Sprintf("group-%04d.ocgr", pg.id), pg.archive)
 			if err != nil {
 				return sentGroup{}, err
 			}
-			linkMu.Lock()
-			linkSec += sec
-			linkMu.Unlock()
-			cm.sentBytes.Add(int64(len(pg.archive)))
 			cm.groups.Inc()
 			if mode.progress != nil {
-				mode.progress.sentBytes.Add(int64(len(pg.archive)))
 				mode.progress.sentGroups.Add(1)
 			}
 			if jw != nil {
@@ -633,7 +704,7 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 					return sentGroup{}, jerr
 				}
 			}
-			return sentGroup{packedGroup: pg, linkSec: sec}, nil
+			return sentGroup{packedGroup: pg, linkSec: sec, delivered: delivered}, nil
 		})
 
 	if mode.sequential {
@@ -655,6 +726,55 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 			})
 	}
 
+	// quarantine re-ships one bound-violating field through the lossless
+	// escape: the raw float64 bits travel deflate-compressed (with the
+	// backend's raw fallback) inside an integrity frame, are verified on
+	// arrival, and replace the lossy reconstruction bit-exactly. It returns
+	// the exact values and the bytes shipped (counted per delivery).
+	quarantine := func(ctx context.Context, i int) ([]float64, int64, error) {
+		qctx, qsp := mode.obs.StartSpan(ctx, "quarantine", obs.String("field", ps.names[i]))
+		defer qsp.End()
+		comp, err := lossless.Compress(floatsToBytes(fields[i].Data), lossless.Deflate)
+		if err != nil {
+			return nil, 0, err
+		}
+		payload := comp
+		if mode.integrity {
+			payload = integrity.Wrap(comp, []uint32{integrity.Checksum(comp)})
+		}
+		qsp.Annotate(obs.Int("bytes", int64(len(payload))))
+		var delivered []byte
+		var shipped int64
+		_, err = mode.retry.Do(qctx, func(ctx context.Context) error {
+			d, _, serr := ship(ctx, ps.names[i]+".lossless", payload)
+			if serr != nil {
+				return serr
+			}
+			shipped += int64(len(payload))
+			if mode.integrity {
+				inner, _, verr := integrity.Verify(d)
+				if verr != nil {
+					// The escape itself was corrupted in flight: detected,
+					// and re-shipped under the same transient budget.
+					cm.corruptions.Inc()
+					return sentinel.MarkTransient(verr)
+				}
+				d = inner
+			}
+			delivered = d
+			return nil
+		})
+		if err != nil {
+			return nil, shipped, err
+		}
+		raw, err := lossless.Decompress(delivered)
+		if err != nil {
+			return nil, shipped, err
+		}
+		vals, err := bytesToFloats(raw, len(fields[i].Data))
+		return vals, shipped, err
+	}
+
 	// Fan-out campaigns pay the digest pass to prove worker-count
 	// invariance; journaled/resumed campaigns pay it so a resumed half can
 	// be compared digest-for-digest with an uninterrupted run.
@@ -663,23 +783,74 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		func(ctx context.Context, sg sentGroup) (verifiedGroup, error) {
 			ctx, span := mode.obs.StartSpan(ctx, "decompress", obs.Int("group", int64(sg.id)))
 			defer span.End()
-			members, err := grouping.Unpack(sg.archive)
+			out := verifiedGroup{minPSNR: math.Inf(1)}
+			payload := sg.delivered
+			if payload == nil {
+				payload = sg.archive
+			}
+			var memberSums []uint32
+			if mode.integrity {
+				// Checksum gate before any decompression: a delivery that
+				// fails the frame check is detected corruption, classified
+				// transient, and only this group is re-requested through the
+				// retry budget (a zero-value policy grants one retransmit).
+				var verr error
+				payload, memberSums, verr = integrity.Verify(payload)
+				if verr != nil {
+					out.corrupt = true
+					cm.corruptions.Inc()
+					if mode.progress != nil {
+						mode.progress.corruptGroups.Add(1)
+					}
+					span.Annotate(obs.String("corrupt", verr.Error()))
+					_, rerr := mode.retry.Do(ctx, func(ctx context.Context) error {
+						rctx, rsp := mode.obs.StartSpan(ctx, "retransmit", obs.Int("group", int64(sg.id)))
+						defer rsp.End()
+						d, _, serr := ship(rctx, fmt.Sprintf("group-%04d.ocgr", sg.id), sg.archive)
+						if serr != nil {
+							return serr
+						}
+						out.retransmits++
+						out.retransmitBytes += int64(len(sg.archive))
+						cm.retransmits.Inc()
+						if mode.progress != nil {
+							mode.progress.retransmits.Add(1)
+						}
+						payload, memberSums, verr = integrity.Verify(d)
+						if verr != nil {
+							cm.corruptions.Inc()
+							return sentinel.MarkTransient(verr)
+						}
+						return nil
+					})
+					if rerr != nil {
+						return verifiedGroup{}, fmt.Errorf("core: group %d corrupted in transit and not recovered after %d retransmit(s): %w", sg.id, out.retransmits, rerr)
+					}
+				}
+			}
+			members, err := grouping.Unpack(payload)
 			if err != nil {
 				return verifiedGroup{}, err
 			}
+			if mode.integrity && len(memberSums) != len(members) {
+				return verifiedGroup{}, fmt.Errorf("core: group %d: frame records %d members, archive holds %d", sg.id, len(memberSums), len(members))
+			}
 			span.Annotate(obs.Int("members", int64(len(members))))
-			out := verifiedGroup{members: len(members), minPSNR: math.Inf(1)}
-			for _, m := range members {
-				// One verify span per member: decode, digest, bound check,
-				// optional PSNR. The closure gives the span a single exit
-				// for every error path.
-				m := m
+			out.members = len(members)
+			for k, m := range members {
+				// One verify span per member: checksum, decode, digest, bound
+				// audit, optional PSNR. The closure gives the span a single
+				// exit for every error path.
+				k, m := k, m
 				if err := func() error {
 					_, vsp := mode.obs.StartSpan(ctx, "verify", obs.String("field", m.Name))
 					defer vsp.End()
 					i, ok := byName[m.Name]
 					if !ok {
 						return fmt.Errorf("core: unknown member %q", m.Name)
+					}
+					if mode.integrity && integrity.Checksum(m.Data) != memberSums[k] {
+						return fmt.Errorf("core: %s: member checksum does not match its pack-time digest", m.Name)
 					}
 					// Registry dispatch on the member's own magic: grouped
 					// archives may mix codecs (per-field plan decisions), and
@@ -692,20 +863,46 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 					if len(dims) != len(fields[i].Dims) {
 						return fmt.Errorf("core: %s: dims mismatch", m.Name)
 					}
-					// Each field is verified exactly once, so writing its slot
-					// is race-free across decompress workers.
-					if digestOn {
-						reconDigests[i] = reconDigest(recon)
-					}
-					maxErr, err := metrics.MaxAbsError(fields[i].Data, recon)
+					// Pointwise bound audit (full by default, stride-sampled
+					// via BoundAudit.Stride): the codec's error-bound contract
+					// is checked against the data, not trusted.
+					maxErr, err := metrics.MaxAbsErrorSampled(fields[i].Data, recon, mode.audit.Stride)
 					if err != nil {
 						return err
 					}
+					quarantined := false
 					if maxErr > absEBs[i]*(1+1e-9) {
-						return fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
+						cm.auditFailures.Inc()
+						if !mode.audit.Quarantine {
+							return fmt.Errorf("core: %s: error %g exceeds bound %g", m.Name, maxErr, absEBs[i])
+						}
+						// The codec broke its bound for this field: quarantine
+						// it — re-ship the raw values lossless and record the
+						// degradation instead of failing the campaign.
+						exact, shipped, qerr := quarantine(ctx, i)
+						out.degradedBytes += shipped
+						if qerr != nil {
+							return fmt.Errorf("core: %s: bound violated (%g > %g) and lossless quarantine failed: %w", m.Name, maxErr, absEBs[i], qerr)
+						}
+						recon, quarantined = exact, true
+						out.degraded = append(out.degraded, m.Name)
+						cm.degradedFields.Inc()
+						if mode.progress != nil {
+							mode.progress.degraded.Add(1)
+						}
+						vsp.Annotate(obs.String("quarantined", "lossless"))
+					} else {
+						out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
 					}
-					out.maxRel = math.Max(out.maxRel, maxErr/ranges[i])
-					if mode.measurePSNR {
+					// Each field is verified exactly once, so writing its slot
+					// is race-free across decompress workers. Quarantined
+					// fields digest their exact replacement.
+					if digestOn {
+						reconDigests[i] = reconDigest(recon)
+					}
+					// A quarantined field's replacement is bit-exact — there
+					// is no noise to score, so it does not drag minPSNR.
+					if mode.measurePSNR && !quarantined {
 						p, err := metrics.PSNR(fields[i].Data, recon)
 						if err != nil {
 							return err
@@ -721,13 +918,15 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 				// The group is now verified end to end — durable at the
 				// destination. Record its per-member recon digests (parallel
 				// to the group's journal members, which are sg.idxs) so a
-				// resume can fold them without redoing the field.
+				// resume can fold them without redoing the field, echoing the
+				// archive digest so a later resume can prove the ack belongs
+				// to the archive the journal describes.
 				acks := make([]uint64, len(sg.idxs))
 				for k, i := range sg.idxs {
 					acks[k] = reconDigests[i]
 				}
 				_, jsp := mode.obs.StartSpan(ctx, "journal.ack", obs.Int("group", int64(sg.id)))
-				err := jw.Ack(sg.id, acks)
+				err := jw.Ack(sg.id, byteDigest(sg.archive), acks)
 				jsp.End()
 				if err != nil {
 					return verifiedGroup{}, err
@@ -749,7 +948,15 @@ func runCampaign(ctx context.Context, fields []*datagen.Field, opts CampaignOpti
 		verifiedFiles += v.members
 		res.MaxRelError = math.Max(res.MaxRelError, v.maxRel)
 		minPSNR = math.Min(minPSNR, v.minPSNR)
+		if v.corrupt {
+			res.CorruptGroups++
+		}
+		res.Retransmits += v.retransmits
+		res.RetransmitBytes += v.retransmitBytes
+		res.DegradedBytes += v.degradedBytes
+		res.DegradedFields = append(res.DegradedFields, v.degraded...)
 	}
+	sort.Strings(res.DegradedFields)
 	if mode.measurePSNR {
 		res.MinPSNR = minPSNR
 	}
@@ -850,6 +1057,29 @@ func reconDigest(recon []float64) uint64 {
 		h = fnv64aWord(h, math.Float64bits(v))
 	}
 	return h
+}
+
+// floatsToBytes flattens float64 values into their little-endian IEEE-754
+// bit patterns — the wire form of a quarantined field's lossless escape.
+func floatsToBytes(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// bytesToFloats inverts floatsToBytes, checking the payload carries
+// exactly the expected value count.
+func bytesToFloats(raw []byte, want int) ([]float64, error) {
+	if len(raw) != 8*want {
+		return nil, fmt.Errorf("core: lossless escape carries %d bytes, want %d", len(raw), 8*want)
+	}
+	vals := make([]float64, want)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return vals, nil
 }
 
 // foldDigests combines per-field digests in field-index order into one

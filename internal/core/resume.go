@@ -47,6 +47,10 @@ func specFingerprint(fields []*datagen.Field, mode campaignMode, strategy groupi
 	add(strconv.Itoa(int(pred)))
 	add(codecName)
 	add(strconv.FormatInt(mode.chunkBytes, 10))
+	// The integrity frame changes every archive byte, so a journal written
+	// with framing on cannot be resumed with it off (or vice versa) — the
+	// recorded archive digests would never match what this incarnation packs.
+	add(strconv.FormatBool(mode.integrity))
 	if mode.perField != nil {
 		add("planned")
 	}
@@ -79,13 +83,13 @@ func replayAcked(jw *journal.Writer, m *journal.Manifest) error {
 		if !g.Acked {
 			continue
 		}
-		if err := jw.Group(g.ID, g.Members, g.ArchiveDigest, g.Bytes); err != nil {
+		if err := jw.Group(g.ID, g.Members, g.ArchiveDigest, g.FrameCRC, g.Bytes); err != nil {
 			return err
 		}
 		if err := jw.Sent(g.ID); err != nil {
 			return err
 		}
-		if err := jw.Ack(g.ID, g.Digests); err != nil {
+		if err := jw.Ack(g.ID, g.ArchiveDigest, g.Digests); err != nil {
 			return err
 		}
 	}

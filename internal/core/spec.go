@@ -164,8 +164,38 @@ type CampaignSpec struct {
 	// classified *sentinel.PermanentError.
 	FallbackTransports []Transport
 
+	// NoIntegrity disables the end-to-end checksum layer: packed archives
+	// ship unframed and the verify stage decompresses whatever arrives. On
+	// a corrupting link this is the silent-corruption testbed — garbage
+	// bytes reach the codecs undetected. The default (false) frames every
+	// archive with CRC-32C digests at pack time and verifies the frame
+	// before decompressing, so in-flight corruption is detected and the
+	// affected group retransmitted under Retry.
+	NoIntegrity bool
+	// BoundAudit tunes the post-decompress pointwise bound audit and its
+	// quarantine escape; the zero value audits every point and fails the
+	// campaign on a violation (the historical behaviour).
+	BoundAudit BoundAudit
+
 	// Now injects a clock for tests; nil = time.Now.
 	Now func() time.Time
+}
+
+// BoundAudit is the SpecOption controlling the post-decompress audit: after
+// each field decompresses, its reconstruction is checked pointwise against
+// the promised absolute error bound — the codec's contract is verified
+// against the data, not trusted.
+type BoundAudit struct {
+	// Stride samples every Stride-th point (plus the final point); ≤ 1
+	// audits every point. Sampling weakens the per-point guarantee in
+	// exchange for less verify-stage CPU on very large fields.
+	Stride int
+	// Quarantine, when set, converts a bound violation from a campaign
+	// failure into a degraded-field recovery: the offending field is
+	// re-shipped lossless (raw float64 bits through the deflate escape,
+	// integrity-framed), replaces the lossy reconstruction bit-exactly,
+	// and is recorded in CampaignResult.DegradedFields.
+	Quarantine bool
 }
 
 // Validate fast-fails the spec errors a daemon wants to reject at submit
@@ -180,6 +210,9 @@ func (s CampaignSpec) Validate() error {
 	}
 	if s.Engine > EngineSequential {
 		return fmt.Errorf("core: unknown engine %v", s.Engine)
+	}
+	if s.BoundAudit.Stride < 0 {
+		return fmt.Errorf("core: bound audit stride %d is negative", s.BoundAudit.Stride)
 	}
 	return nil
 }
@@ -247,6 +280,8 @@ func (s CampaignSpec) mode() campaignMode {
 		retry:           s.Retry,
 		fallbacks:       s.FallbackTransports,
 		obs:             s.Obs,
+		integrity:       !s.NoIntegrity,
+		audit:           s.BoundAudit,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"ocelot/internal/gridftp"
 	"ocelot/internal/obs"
+	"ocelot/internal/sentinel"
 	"ocelot/internal/wan"
 )
 
@@ -35,6 +36,20 @@ type WeightedTransport interface {
 	// SendWeighted ships one archive with the given fair-share weight
 	// (values ≤ 0 are treated as 1).
 	SendWeighted(ctx context.Context, name string, data []byte, weight float64) (seconds float64, err error)
+}
+
+// DeliveredTransport is a Transport that reports the payload bytes that
+// actually arrived at the destination — which may differ from the offered
+// bytes when the link corrupts in flight (wan.Faults.CorruptProb). The
+// campaign's verify stage checksums the delivered bytes, so it sees
+// exactly what the wire produced rather than assuming the send buffer
+// arrived intact. Transports without in-flight corruption simply return
+// the input slice.
+type DeliveredTransport interface {
+	Transport
+	// SendDelivered ships one archive with the given fair-share weight
+	// (values ≤ 0 are treated as 1) and returns the delivered payload.
+	SendDelivered(ctx context.Context, name string, data []byte, weight float64) (delivered []byte, seconds float64, err error)
 }
 
 // streamHinter is implemented by transports that know how many archives
@@ -250,21 +265,33 @@ func (t *SimulatedWANTransport) Send(ctx context.Context, name string, data []by
 // pacing loop always has ctx.Done in its select, so a cancelled send
 // returns without finishing its current timer.
 func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, data []byte, weight float64) (float64, error) {
+	_, sec, err := t.SendDelivered(ctx, name, data, weight)
+	return sec, err
+}
+
+// SendDelivered implements DeliveredTransport with SendWeighted's pacing
+// semantics, additionally returning the delivered payload. When the link's
+// fault schedule carries a corruption probability, the injector damages
+// the delivery *after* pacing completes — a corrupted archive consumed the
+// full link capacity of a clean one, so the throughput ≤ bandwidth
+// invariant is unaffected — and the caller's buffer is never mutated (a
+// retransmit re-offers the original bytes).
+func (t *SimulatedWANTransport) SendDelivered(ctx context.Context, name string, data []byte, weight float64) ([]byte, float64, error) {
 	if t.Link == nil {
-		return 0, errors.New("core: simulated transport needs a link")
+		return nil, 0, errors.New("core: simulated transport needs a link")
 	}
 	if weight <= 0 {
 		weight = 1
 	}
 	if err := t.Link.Validate(); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	scale := t.Timescale
 	if scale == 0 {
 		scale = 1
 	}
 	if err := t.initFaults(); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	if scale < 0 {
 		// Accounting only: no sleeping means sends never overlap in wall
@@ -273,9 +300,12 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 		// apply (the fast way for tests to exercise the retry path);
 		// scheduled windows do not, as there is no advancing clock.
 		if err := t.injector.SendError(0); err != nil {
-			return 0, err
+			return nil, 0, err
 		}
-		return t.Link.PerFileOverheadSec + float64(len(data))/1e6/t.Link.BandwidthMBps, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		return t.injector.CorruptPayload(data), t.Link.PerFileOverheadSec + float64(len(data))/1e6/t.Link.BandwidthMBps, nil
 	}
 
 	// Fault check before admission: a send attempted during an outage (or
@@ -285,17 +315,17 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 	// streams ride out short control-plane blips; dips (below) model the
 	// data-plane degradation.
 	if err := t.injector.SendError(t.simNow(scale)); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 
 	if err := t.admit(ctx, weight); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	defer t.release(weight)
 
 	simSec := t.Link.PerFileOverheadSec
 	if err := sleepScaled(ctx, t.Link.PerFileOverheadSec, scale); err != nil {
-		return 0, err
+		return nil, 0, err
 	}
 	remainingMB := float64(len(data)) / 1e6
 	pacingWaits := t.metrics().Counter("wan_pacing_waits_total")
@@ -322,7 +352,7 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 		select {
 		case <-ctx.Done():
 			timer.Stop()
-			return 0, ctx.Err()
+			return nil, 0, ctx.Err()
 		case <-timer.C:
 			simSec += need
 			remainingMB -= need * rate
@@ -339,7 +369,9 @@ func (t *SimulatedWANTransport) SendWeighted(ctx context.Context, name string, d
 			remainingMB -= elapsedSim * rate
 		}
 	}
-	return simSec, nil
+	// Corruption is injected only after the payload has been fully paced
+	// through the link, so damaged deliveries still paid their bandwidth.
+	return t.injector.CorruptPayload(data), simSec, nil
 }
 
 // sleepScaled sleeps sec simulated seconds at the given timescale,
@@ -368,14 +400,21 @@ type GridFTPTransport struct {
 // Name implements Transport.
 func (t *GridFTPTransport) Name() string { return "gridftp" }
 
-// Send implements Transport.
+// Send implements Transport. A checksum failure reported by the server is
+// wire corruption, not a protocol bug: it is marked transient so the
+// campaign's retry/failover budget re-sends the archive, the same contract
+// simulated corruption gets from the verify stage.
 func (t *GridFTPTransport) Send(ctx context.Context, name string, data []byte) (float64, error) {
 	if t.Client == nil {
 		return 0, errors.New("core: gridftp transport needs a client")
 	}
 	sum, err := t.Client.Transfer(ctx, []gridftp.File{{Name: name, Data: data}})
 	if err != nil {
-		return 0, fmt.Errorf("core: gridftp send %s: %w", name, err)
+		wrapped := fmt.Errorf("core: gridftp send %s: %w", name, err)
+		if errors.Is(err, gridftp.ErrChecksum) {
+			return 0, sentinel.MarkTransient(wrapped)
+		}
+		return 0, wrapped
 	}
 	return sum.Seconds, nil
 }

@@ -436,3 +436,32 @@ func TestObsOverhead(t *testing.T) {
 		t.Error("artifact text missing the overhead line")
 	}
 }
+
+func TestIntegrity(t *testing.T) {
+	res, err := Integrity(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver hard-fails on digest mismatch, silent escapes, re-sent
+	// clean groups, or a lying codec slipping past the audit; the values
+	// here are the acceptance bars the artifact publishes.
+	if res.Values["digest_match"] != 1 {
+		t.Error("corrupted-link campaign did not reproduce the clean digest")
+	}
+	if res.Values["corrupt_groups"] <= 0 || res.Values["retransmits"] < res.Values["corrupt_groups"] {
+		t.Errorf("recovery ledger inconsistent: %.0f corrupt groups, %.0f retransmits",
+			res.Values["corrupt_groups"], res.Values["retransmits"])
+	}
+	if res.Values["silent_escapes"] != 0 {
+		t.Errorf("%.0f injected corruptions escaped detection", res.Values["silent_escapes"])
+	}
+	if res.Values["frameless_fails"] != 1 {
+		t.Error("frameless leg did not fail under garbling")
+	}
+	if res.Values["degraded_fields"] <= 0 || res.Values["degraded_bytes"] <= 0 {
+		t.Error("quarantine leg shipped no lossless replacements")
+	}
+	if !strings.Contains(res.Text, "silent escapes") {
+		t.Error("artifact text missing the silent-escape line")
+	}
+}

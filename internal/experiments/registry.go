@@ -42,6 +42,7 @@ func Drivers() []Driver {
 		{"ServeFairness", ServeFairness},
 		{"FaultResume", FaultResume},
 		{"ObsOverhead", ObsOverhead},
+		{"Integrity", Integrity},
 	}
 }
 

@@ -418,6 +418,13 @@ feed:
 		return nil, fmt.Errorf("gridftp: confirmation: %w", err)
 	}
 	if !final.OK {
+		// The failure reason crosses the control channel as text; restore
+		// the typed identity of checksum failures so callers can classify
+		// wire corruption (errors.Is(err, ErrChecksum)) and retry it rather
+		// than treating it as a permanent protocol error.
+		if strings.Contains(final.Error, ErrChecksum.Error()) {
+			return nil, fmt.Errorf("%w: server rejected transfer: %s", ErrChecksum, final.Error)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrSession, final.Error)
 	}
 	var bytes int64

@@ -1,0 +1,39 @@
+package integrity
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIntegrityFrame feeds arbitrary bytes to Verify: corrupt or truncated
+// frames must error (never panic) and never allocate past what the input
+// length justifies, and any frame Verify accepts must round-trip through
+// Wrap to the identical bytes.
+func FuzzIntegrityFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("OCIF"))
+	f.Add(Wrap(nil, nil))
+	f.Add(Wrap([]byte("payload"), []uint32{1, 2, 3}))
+	trunc := Wrap([]byte("truncate me"), []uint32{7})
+	f.Add(trunc[:len(trunc)-3])
+	flip := Wrap([]byte("flip me"), []uint32{9, 9})
+	flip[len(flip)-1] ^= 0x40
+	f.Add(flip)
+	huge := Wrap([]byte("n"), nil)
+	huge[7] = 0xff // absurd member count vs frame length
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, sums, err := Verify(data)
+		if err != nil {
+			return
+		}
+		if len(sums) > (len(data)-minFrame)/4 {
+			t.Fatalf("accepted %d member sums from a %d-byte frame", len(sums), len(data))
+		}
+		// An accepted frame must re-encode to exactly the input bytes.
+		if re := Wrap(payload, sums); !bytes.Equal(re, data) {
+			t.Fatalf("accepted frame does not round-trip: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+	})
+}

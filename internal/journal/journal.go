@@ -41,7 +41,11 @@ const (
 	// KindSent records the transport accepting a group's archive.
 	KindSent = "sent"
 	// KindAck records a group verified end to end, with per-member
-	// reconstruction digests. Acked groups are skipped on resume.
+	// reconstruction digests. Acked groups are skipped on resume. An ack
+	// echoes the archive digest it verified; an echo that disagrees with
+	// the group record VOIDS the ack (the group is re-sent on resume)
+	// rather than corrupting the manifest — a stale or tampered ack must
+	// never let an unverified archive be skipped.
 	KindAck = "ack"
 	// KindResume marks a resumed incarnation appending after a crash.
 	KindResume = "resume"
@@ -113,8 +117,13 @@ type Entry struct {
 	Members []int `json:"members,omitempty"`
 	// Bytes is the packed archive size (group records).
 	Bytes int64 `json:"bytes,omitempty"`
-	// Archive is the FNV-64a digest of the archive bytes, hex (group records).
+	// Archive is the FNV-64a digest of the archive bytes, hex. Group
+	// records record it; ack records echo it so a mismatched (voided) ack
+	// is distinguishable from a verified one.
 	Archive string `json:"archive,omitempty"`
+	// CRC is the CRC-32C of the integrity frame's payload, hex (group
+	// records; omitted when the campaign ships unframed archives).
+	CRC string `json:"crc,omitempty"`
 	// Digests are the per-member reconstruction digests, hex, parallel to
 	// the group's Members (ack records).
 	Digests []string `json:"digests,omitempty"`
@@ -131,6 +140,9 @@ type GroupState struct {
 	Bytes int64
 	// ArchiveDigest is the FNV-64a digest of the archive bytes.
 	ArchiveDigest uint64
+	// FrameCRC is the CRC-32C of the integrity frame's payload (zero when
+	// the campaign shipped unframed archives).
+	FrameCRC uint32
 	// Sent reports the transport accepted the archive.
 	Sent bool
 	// Acked reports the group verified end to end; acked groups are
@@ -258,8 +270,16 @@ func (m *Manifest) apply(e *Entry, n int) error {
 		if err != nil {
 			return corruptf("record %d: group %d archive digest: %v", n, e.Group, err)
 		}
+		var frameCRC uint32
+		if e.CRC != "" {
+			v, err := strconv.ParseUint(e.CRC, 16, 32)
+			if err != nil {
+				return corruptf("record %d: group %d frame crc: %v", n, e.Group, err)
+			}
+			frameCRC = uint32(v)
+		}
 		if prev, ok := m.Groups[e.Group]; ok {
-			if prev.ArchiveDigest != digest || prev.Bytes != e.Bytes || !equalInts(prev.Members, e.Members) {
+			if prev.ArchiveDigest != digest || prev.FrameCRC != frameCRC || prev.Bytes != e.Bytes || !equalInts(prev.Members, e.Members) {
 				return corruptf("record %d: group %d re-recorded with different contents", n, e.Group)
 			}
 			return nil // idempotent duplicate
@@ -269,6 +289,7 @@ func (m *Manifest) apply(e *Entry, n int) error {
 			Members:       e.Members,
 			Bytes:         e.Bytes,
 			ArchiveDigest: digest,
+			FrameCRC:      frameCRC,
 		}
 		return nil
 	case KindSent:
@@ -282,6 +303,19 @@ func (m *Manifest) apply(e *Entry, n int) error {
 		g, ok := m.Groups[e.Group]
 		if !ok {
 			return corruptf("record %d: ack for unknown group %d", n, e.Group)
+		}
+		if e.Archive != "" {
+			echo, err := parseDigest(e.Archive)
+			if err != nil {
+				return corruptf("record %d: ack for group %d archive echo: %v", n, e.Group, err)
+			}
+			if echo != g.ArchiveDigest {
+				// The ack verified a different archive than the group record
+				// describes — void it (leave the group unacked so resume
+				// re-sends it) instead of trusting either side. Legacy
+				// echo-less acks skip this check.
+				return nil
+			}
 		}
 		if len(e.Digests) != len(g.Members) {
 			return corruptf("record %d: ack for group %d has %d digests for %d members", n, e.Group, len(e.Digests), len(g.Members))
@@ -546,10 +580,16 @@ func (w *Writer) Begin(specHash, engine string, strategy int, groupParam int64, 
 }
 
 // Group records a packed group before its archive is offered to the
-// transport.
-func (w *Writer) Group(id int, members []int, archiveDigest uint64, bytes int64) error {
-	return w.Append(Entry{T: KindGroup, Group: id, Members: members,
-		Archive: FormatDigest(archiveDigest), Bytes: bytes})
+// transport. frameCRC is the CRC-32C of the integrity frame's payload
+// (zero when the campaign ships unframed archives; the field is omitted
+// from the record so unframed journals keep their legacy shape).
+func (w *Writer) Group(id int, members []int, archiveDigest uint64, frameCRC uint32, bytes int64) error {
+	e := Entry{T: KindGroup, Group: id, Members: members,
+		Archive: FormatDigest(archiveDigest), Bytes: bytes}
+	if frameCRC != 0 {
+		e.CRC = strconv.FormatUint(uint64(frameCRC), 16)
+	}
+	return w.Append(e)
 }
 
 // Sent records the transport accepting a group's archive.
@@ -559,12 +599,16 @@ func (w *Writer) Sent(id int) error {
 
 // Ack records a group verified end to end with its per-member
 // reconstruction digests (parallel to the group's recorded members).
-func (w *Writer) Ack(id int, digests []uint64) error {
+// archiveDigest echoes the digest of the archive that verified; replay
+// voids an ack whose echo disagrees with the group record, so a
+// tampered journal can never skip an unverified group on resume.
+func (w *Writer) Ack(id int, archiveDigest uint64, digests []uint64) error {
 	hex := make([]string, len(digests))
 	for i, d := range digests {
 		hex[i] = FormatDigest(d)
 	}
-	return w.Append(Entry{T: KindAck, Group: id, Digests: hex})
+	return w.Append(Entry{T: KindAck, Group: id,
+		Archive: FormatDigest(archiveDigest), Digests: hex})
 }
 
 // Resume records a resumed incarnation taking over the journal.

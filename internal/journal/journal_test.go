@@ -29,16 +29,16 @@ func writeSample(t *testing.T, path string) {
 		map[string]string{"tenant": "climate"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Group(0, []int{0, 2}, 0xabc, 1000); err != nil {
+	if err := w.Group(0, []int{0, 2}, 0xabc, 0xc0ffee, 1000); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Group(1, []int{1, 3}, 0xdef, 2000); err != nil {
+	if err := w.Group(1, []int{1, 3}, 0xdef, 0, 2000); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Sent(0); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Ack(0, []uint64{11, 22}); err != nil {
+	if err := w.Ack(0, 0xabc, []uint64{11, 22}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Sent(1); err != nil {
@@ -62,7 +62,7 @@ func TestJournalRoundTrip(t *testing.T) {
 	if len(m.Groups) != 2 || m.Done {
 		t.Fatalf("groups=%d done=%v", len(m.Groups), m.Done)
 	}
-	if g := m.Groups[0]; !g.Acked || !g.Sent || g.Bytes != 1000 || g.ArchiveDigest != 0xabc {
+	if g := m.Groups[0]; !g.Acked || !g.Sent || g.Bytes != 1000 || g.ArchiveDigest != 0xabc || g.FrameCRC != 0xc0ffee {
 		t.Fatalf("group 0: %+v", g)
 	}
 	if g := m.Groups[1]; g.Acked || !g.Sent {
@@ -164,10 +164,10 @@ func TestJournalResumeAppend(t *testing.T) {
 	if err := w.Resume(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Group(2, []int{1, 3}, 0x123, 1500); err != nil {
+	if err := w.Group(2, []int{1, 3}, 0x123, 0, 1500); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Ack(2, []uint64{33, 44}); err != nil {
+	if err := w.Ack(2, 0x123, []uint64{33, 44}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Done(); err != nil {
@@ -190,6 +190,66 @@ func TestJournalResumeAppend(t *testing.T) {
 	for i, d := range done {
 		if !d {
 			t.Fatalf("field %d not covered after resume", i)
+		}
+	}
+}
+
+func TestJournalAckEchoVoidsMismatch(t *testing.T) {
+	begin := `{"t":"begin","specHash":"ff","fields":[{"name":"a.sz","relEB":0.001}]}` + "\n"
+	group := `{"t":"group","group":0,"members":[0],"archive":"abc","crc":"c0ffee","bytes":10}` + "\n"
+
+	// Mismatched echo: the ack is voided, not an error — the group stays
+	// unacked so a resume re-sends it.
+	m, err := Parse([]byte(begin + group + `{"t":"ack","group":0,"archive":"dead","digests":["1"]}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Groups[0].Acked {
+		t.Fatal("mismatched-echo ack should be voided")
+	}
+
+	// Matching echo acks normally.
+	m, err = Parse([]byte(begin + group + `{"t":"ack","group":0,"archive":"abc","digests":["1"]}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Groups[0].Acked || m.Groups[0].FrameCRC != 0xc0ffee {
+		t.Fatalf("matching-echo ack rejected: %+v", m.Groups[0])
+	}
+
+	// Legacy echo-less acks are still accepted.
+	m, err = Parse([]byte(begin + group + `{"t":"ack","group":0,"digests":["1"]}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Groups[0].Acked {
+		t.Fatal("legacy echo-less ack rejected")
+	}
+
+	// A voided ack after a good one leaves the good ack intact.
+	m, err = Parse([]byte(begin + group +
+		`{"t":"ack","group":0,"archive":"abc","digests":["1"]}` + "\n" +
+		`{"t":"ack","group":0,"archive":"dead","digests":["9"]}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Groups[0].Acked || m.Groups[0].Digests[0] != 1 {
+		t.Fatalf("voided duplicate clobbered good ack: %+v", m.Groups[0])
+	}
+}
+
+func TestJournalCorruptIntegrityFields(t *testing.T) {
+	begin := `{"t":"begin","specHash":"ff","fields":[{"name":"a.sz","relEB":0.001}]}` + "\n"
+	group := `{"t":"group","group":0,"members":[0],"archive":"abc","crc":"c0ffee","bytes":10}` + "\n"
+	cases := map[string]string{
+		"bad frame crc": begin + `{"t":"group","group":0,"members":[0],"archive":"abc","crc":"zz"}` + "\n",
+		"oversized crc": begin + `{"t":"group","group":0,"members":[0],"archive":"abc","crc":"fffffffff"}` + "\n",
+		"bad ack echo":  begin + group + `{"t":"ack","group":0,"archive":"zz","digests":["1"]}` + "\n",
+		"crc conflict":  begin + group + `{"t":"group","group":0,"members":[0],"archive":"abc","crc":"beef","bytes":10}` + "\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse([]byte(text)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
 		}
 	}
 }

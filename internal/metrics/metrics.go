@@ -118,6 +118,32 @@ func MaxAbsError(original, reconstructed []float64) (float64, error) {
 	return m, nil
 }
 
+// MaxAbsErrorSampled is MaxAbsError over every stride-th point (plus the
+// final point, so the tail is never unaudited); stride ≤ 1 audits every
+// point. Campaigns use it as the post-decompress bound audit: sampling
+// trades a weaker per-point guarantee for less verify-stage CPU on very
+// large fields.
+func MaxAbsErrorSampled(original, reconstructed []float64, stride int) (float64, error) {
+	if stride <= 1 {
+		return MaxAbsError(original, reconstructed)
+	}
+	if len(original) != len(reconstructed) {
+		return 0, ErrLengthMismatch
+	}
+	var m float64
+	for i := 0; i < len(original); i += stride {
+		if d := math.Abs(original[i] - reconstructed[i]); d > m {
+			m = d
+		}
+	}
+	if n := len(original); n > 0 {
+		if d := math.Abs(original[n-1] - reconstructed[n-1]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
 // ByteEntropy computes the Shannon entropy (bits/byte) of the IEEE-754
 // little-endian byte representation of data, matching the paper's byte-level
 // information entropy feature. elementSize must be 4 (float32 views) or 8.

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ocelot/internal/core"
+	"ocelot/internal/sentinel"
+	"ocelot/internal/wan"
+)
+
+// TestServeIntegrityStressCorruptingFlappingLink pushes 16 concurrent
+// campaigns through the scheduler over ONE shared link that both drops
+// sends (flaps, rejected before pacing) and corrupts delivered payloads
+// (injected after pacing, so retransmits consume real link capacity).
+// Run under -race this is the daemon's end-to-end integrity torture test.
+// It asserts:
+//
+//   - every campaign reaches a terminal done state with a ReconDigest
+//     bit-identical to a clean single-campaign reference run;
+//   - delivery accounting stays exact under retransmission — each job's
+//     observed SentBytes equals GroupedBytes + RetransmitBytes exactly;
+//   - aggregate throughput (including every retransmitted byte) respects
+//     the shared link's bandwidth.
+func TestServeIntegrityStressCorruptingFlappingLink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-campaign corruption stress")
+	}
+	const (
+		campaigns = 16
+		bwMBps    = 50.0
+		scale     = 1.0
+	)
+
+	// One shared read-only dataset; a clean journaled reference run pins
+	// the digest every chaos campaign must reproduce.
+	fields := testFields(t, 2)
+	spec := core.CampaignSpec{
+		RelErrorBound:   1e-3,
+		Workers:         2,
+		GroupParam:      2,
+		TransferStreams: 2,
+		Retry: sentinel.RetryPolicy{
+			MaxAttempts: 10,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+		},
+	}
+	refSpec := spec
+	refSpec.Transport = core.NopTransport{}
+	refSpec.Journal = filepath.Join(t.TempDir(), "ref.ocjl")
+	ref, err := core.Run(context.Background(), fields, refSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.ReconDigest == 0 {
+		t.Fatal("reference run produced no digest")
+	}
+
+	link := &wan.Link{
+		Name:          "dirty-flap",
+		BandwidthMBps: bwMBps,
+		Concurrency:   4,
+		Faults: &wan.Faults{
+			SendErrProb: 0.15,
+			CorruptProb: 0.2,
+			CorruptMode: wan.CorruptMix,
+			Seed:        17,
+		},
+	}
+	sched := NewScheduler(Config{
+		Transport:  &core.SimulatedWANTransport{Link: link, Timescale: scale},
+		MaxRunning: 8,
+		QueueDepth: campaigns,
+	})
+	defer sched.Close()
+
+	// Per-request journals (the scheduler preserves them when it has no
+	// JournalDir of its own) turn the digest pass on for every campaign.
+	jdir := t.TempDir()
+	start := time.Now()
+	jobs := make([]*Job, 0, campaigns)
+	for i := 0; i < campaigns; i++ {
+		js := spec
+		js.Journal = filepath.Join(jdir, fmt.Sprintf("job-%02d.ocjl", i))
+		j, err := sched.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), Fields: fields, Spec: js})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatalf("job %s did not complete: %v", j.ID(), err)
+		}
+	}
+	wallSec := time.Since(start).Seconds()
+
+	var totalSent, totalCorrupt, totalRetransmits int64
+	for _, j := range jobs {
+		res, err := j.Result()
+		if err != nil {
+			t.Fatalf("job %s failed: %v", j.ID(), err)
+		}
+		st := j.Status()
+		if st.State != "done" || st.Campaign == nil {
+			t.Fatalf("job %s terminal state %q with campaign %v", j.ID(), st.State, st.Campaign)
+		}
+		if res.ReconDigest != ref.ReconDigest {
+			t.Errorf("job %s: digest %016x != clean reference %016x — corruption escaped into the result",
+				j.ID(), res.ReconDigest, ref.ReconDigest)
+		}
+		if st.Campaign.SentBytes != res.GroupedBytes+res.RetransmitBytes+res.DegradedBytes {
+			t.Errorf("job %s: observed SentBytes %d != grouped %d + retransmit %d + degraded %d",
+				j.ID(), st.Campaign.SentBytes, res.GroupedBytes, res.RetransmitBytes, res.DegradedBytes)
+		}
+		if st.Campaign.CorruptGroups != int64(res.CorruptGroups) || st.Campaign.Retransmits != int64(res.Retransmits) {
+			t.Errorf("job %s: status integrity ledger (%d, %d) != result (%d, %d)",
+				j.ID(), st.Campaign.CorruptGroups, st.Campaign.Retransmits, res.CorruptGroups, res.Retransmits)
+		}
+		if len(res.DegradedFields) != 0 {
+			t.Errorf("job %s: corruption-only chaos degraded fields %v", j.ID(), res.DegradedFields)
+		}
+		totalSent += st.Campaign.SentBytes
+		totalCorrupt += int64(res.CorruptGroups)
+		totalRetransmits += int64(res.Retransmits)
+	}
+	if totalCorrupt == 0 {
+		t.Error("no corrupted deliveries across 16 campaigns on a p=0.2 link — injection not reaching the verify path")
+	}
+	if totalRetransmits < totalCorrupt {
+		t.Errorf("%d retransmits below %d corrupted groups — a corrupted group completed unrecovered", totalRetransmits, totalCorrupt)
+	}
+
+	// Corruption is injected after pacing, so every retransmitted byte paid
+	// for link time: aggregate throughput including retransmits must still
+	// respect the shared link.
+	simSec := wallSec / scale
+	throughput := float64(totalSent) / 1e6 / simSec
+	if throughput > bwMBps*1.02 {
+		t.Errorf("aggregate throughput %.1f MB/s exceeds shared link bandwidth %.1f MB/s", throughput, bwMBps)
+	}
+	t.Logf("16 campaigns, %d corrupt deliveries, %d retransmits, %.1f MB aggregate in %.1fs sim (%.1f MB/s on a %.0f MB/s link)",
+		totalCorrupt, totalRetransmits, float64(totalSent)/1e6, simSec, throughput, bwMBps)
+}

@@ -50,9 +50,37 @@ type Faults struct {
 	// SendErrProb is the probability, per send attempt, of a transient
 	// flap error drawn from the seeded RNG; [0, 1).
 	SendErrProb float64
+	// CorruptProb is the probability, per *delivered* send, that the
+	// payload arrives corrupted; [0, 1). Corruption is injected after
+	// pacing completes, so it consumes full link capacity and never
+	// perturbs the throughput ≤ bandwidth invariant. Whether corruption is
+	// detected or silent is decided downstream: campaigns with the
+	// integrity frame enabled catch it at verify; campaigns without see
+	// the garbage bytes (the silent-corruption testbed).
+	CorruptProb float64
+	// CorruptMode picks how a corrupted payload is damaged; the zero value
+	// is CorruptBitFlip.
+	CorruptMode CorruptMode
 	// Seed makes the per-send error draws deterministic.
 	Seed int64
 }
+
+// CorruptMode selects the damage model for injected payload corruption.
+type CorruptMode int
+
+const (
+	// CorruptBitFlip flips one to eight random bits — the classic
+	// undetected-by-TCP in-flight corruption.
+	CorruptBitFlip CorruptMode = iota
+	// CorruptTruncate cuts the payload short at a random offset — a
+	// partial write or interrupted transfer.
+	CorruptTruncate
+	// CorruptGarble rewrites the whole payload with random bytes — a
+	// wrong-object or torn-buffer delivery.
+	CorruptGarble
+	// CorruptMix draws one of the three modes above per corrupted send.
+	CorruptMix
+)
 
 // Validate checks the fault schedule.
 func (f *Faults) Validate() error {
@@ -74,6 +102,12 @@ func (f *Faults) Validate() error {
 	}
 	if f.SendErrProb < 0 || f.SendErrProb >= 1 {
 		return fmt.Errorf("wan: send error probability %g outside [0, 1)", f.SendErrProb)
+	}
+	if f.CorruptProb < 0 || f.CorruptProb >= 1 {
+		return fmt.Errorf("wan: corruption probability %g outside [0, 1)", f.CorruptProb)
+	}
+	if f.CorruptMode < CorruptBitFlip || f.CorruptMode > CorruptMix {
+		return fmt.Errorf("wan: unknown corruption mode %d", f.CorruptMode)
 	}
 	return nil
 }
@@ -111,20 +145,23 @@ type Injector struct {
 	rng    *rand.Rand
 
 	// Metric handles installed by SetMetrics (nil-safe no-ops otherwise).
-	windowsHit *obs.Counter
-	flapDrops  *obs.Counter
+	windowsHit  *obs.Counter
+	flapDrops   *obs.Counter
+	corruptions *obs.Counter
 }
 
 // SetMetrics installs a metrics registry: SendError counts every outage
 // window hit (wan_fault_windows_hit_total) and flap drop
-// (wan_flap_drops_total). Call before the injector is shared; a nil
-// injector or registry is a no-op.
+// (wan_flap_drops_total), and CorruptPayload counts every injected
+// corruption (wan_corruptions_injected_total). Call before the injector is
+// shared; a nil injector or registry is a no-op.
 func (in *Injector) SetMetrics(reg *obs.Registry) {
 	if in == nil {
 		return
 	}
 	in.windowsHit = reg.Counter("wan_fault_windows_hit_total")
 	in.flapDrops = reg.Counter("wan_flap_drops_total")
+	in.corruptions = reg.Counter("wan_corruptions_injected_total")
 }
 
 // NewInjector builds an injector for a validated fault schedule.
@@ -176,6 +213,42 @@ func (in *Injector) RateFactor(t float64) float64 {
 		}
 	}
 	return factor
+}
+
+// CorruptPayload damages a delivered payload with probability CorruptProb
+// using the schedule's CorruptMode, returning the (possibly new) delivered
+// slice. The input is never mutated: a corrupted delivery is a fresh copy,
+// so the sender's buffer — which the campaign may retransmit — stays
+// intact. A nil injector, zero probability, or empty payload delivers the
+// input unchanged. Draws come from the same seeded RNG as flap errors, so
+// the corruption pattern is deterministic per schedule.
+func (in *Injector) CorruptPayload(data []byte) []byte {
+	if in == nil || in.faults.CorruptProb <= 0 || len(data) == 0 {
+		return data
+	}
+	in.mu.Lock()
+	if in.rng.Float64() >= in.faults.CorruptProb {
+		in.mu.Unlock()
+		return data
+	}
+	mode := in.faults.CorruptMode
+	if mode == CorruptMix {
+		mode = CorruptMode(in.rng.Intn(3))
+	}
+	out := append([]byte(nil), data...)
+	switch mode {
+	case CorruptTruncate:
+		out = out[:in.rng.Intn(len(out))]
+	case CorruptGarble:
+		in.rng.Read(out)
+	default: // CorruptBitFlip
+		for k, flips := 0, 1+in.rng.Intn(8); k < flips; k++ {
+			out[in.rng.Intn(len(out))] ^= 1 << uint(in.rng.Intn(8))
+		}
+	}
+	in.mu.Unlock()
+	in.corruptions.Inc()
+	return out
 }
 
 // NextChange returns the earliest dip boundary strictly after t, or

@@ -1,6 +1,7 @@
 package wan
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 )
@@ -107,5 +108,84 @@ func TestInjectorNilSafe(t *testing.T) {
 	}
 	if _, err := NewInjector(nil); !errors.Is(err, ErrNoFaults) {
 		t.Fatal("nil schedule should return ErrNoFaults")
+	}
+}
+
+func TestCorruptPayloadDeterministicAndModes(t *testing.T) {
+	payload := bytes.Repeat([]byte("ocelot archive "), 64)
+	draw := func(mode CorruptMode) []bool {
+		in, err := NewInjector(&Faults{CorruptProb: 0.5, CorruptMode: mode, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			got := in.CorruptPayload(payload)
+			out[i] = !bytes.Equal(got, payload)
+			if out[i] && &got[0] == &payload[0] {
+				t.Fatal("corrupted delivery must be a fresh copy")
+			}
+		}
+		return out
+	}
+	for _, mode := range []CorruptMode{CorruptBitFlip, CorruptTruncate, CorruptGarble, CorruptMix} {
+		a, b := draw(mode), draw(mode)
+		hits := 0
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mode %d: draw %d differs across same-seed injectors", mode, i)
+			}
+			if a[i] {
+				hits++
+			}
+		}
+		if hits < 60 || hits > 140 {
+			t.Fatalf("mode %d: corruption count %d implausible for p=0.5", mode, hits)
+		}
+	}
+}
+
+func TestCorruptPayloadNeverMutatesInput(t *testing.T) {
+	in, err := NewInjector(&Faults{CorruptProb: 0.9, CorruptMode: CorruptMix, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xA5}, 512)
+	want := append([]byte(nil), payload...)
+	for i := 0; i < 100; i++ {
+		in.CorruptPayload(payload)
+		if !bytes.Equal(payload, want) {
+			t.Fatalf("iteration %d: CorruptPayload mutated its input", i)
+		}
+	}
+}
+
+func TestCorruptPayloadNilAndZeroProb(t *testing.T) {
+	var nilIn *Injector
+	payload := []byte("abc")
+	if got := nilIn.CorruptPayload(payload); &got[0] != &payload[0] {
+		t.Fatal("nil injector must deliver the input slice unchanged")
+	}
+	in, err := NewInjector(&Faults{SendErrProb: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.CorruptPayload(payload); &got[0] != &payload[0] {
+		t.Fatal("zero CorruptProb must deliver the input slice unchanged")
+	}
+}
+
+func TestFaultsValidateCorruption(t *testing.T) {
+	if err := (&Faults{CorruptProb: 1.0}).Validate(); err == nil {
+		t.Fatal("CorruptProb 1.0 should be rejected")
+	}
+	if err := (&Faults{CorruptProb: -0.1}).Validate(); err == nil {
+		t.Fatal("negative CorruptProb should be rejected")
+	}
+	if err := (&Faults{CorruptMode: CorruptMix + 1}).Validate(); err == nil {
+		t.Fatal("unknown CorruptMode should be rejected")
+	}
+	if err := (&Faults{CorruptProb: 0.5, CorruptMode: CorruptGarble}).Validate(); err != nil {
+		t.Fatalf("valid corruption schedule rejected: %v", err)
 	}
 }

@@ -273,6 +273,12 @@ type CampaignStatus = core.CampaignStatus
 // CampaignResult reports a finished campaign run.
 type CampaignResult = core.CampaignResult
 
+// BoundAudit tunes the post-decompress pointwise error-bound audit; set
+// it on CampaignSpec.BoundAudit. Quarantine converts a bound violation
+// from a campaign failure into a degraded-field recovery (the field is
+// re-shipped lossless and recorded in CampaignResult.DegradedFields).
+type BoundAudit = core.BoundAudit
+
 // Run executes a campaign described by spec and blocks until it finishes.
 // It subsumes the historical RunCampaign / RunPipelinedCampaign /
 // RunSequentialCampaign / RunPlannedCampaign quartet: pick the engine via
@@ -353,10 +359,26 @@ type PermanentError = sentinel.PermanentError
 func MarkTransient(err error) error { return sentinel.MarkTransient(err) }
 
 // LinkFaults schedules deterministic fault injection on a wan.Link:
-// outage windows, bandwidth dips, and a seeded per-send error
-// probability. Set it on Link.Faults to exercise campaign retry paths
-// under a simulated flapping WAN.
+// outage windows, bandwidth dips, a seeded per-send error probability,
+// and seeded corruption of delivered payloads (CorruptProb/CorruptMode).
+// Set it on Link.Faults to exercise campaign retry and
+// verify-and-retransmit paths under a simulated hostile WAN.
 type LinkFaults = wan.Faults
+
+// CorruptMode selects how LinkFaults mutates a delivered payload.
+type CorruptMode = wan.CorruptMode
+
+// Corruption modes for LinkFaults.CorruptMode.
+const (
+	// CorruptBitFlip flips a single random bit (the default).
+	CorruptBitFlip = wan.CorruptBitFlip
+	// CorruptTruncate drops a random-length tail.
+	CorruptTruncate = wan.CorruptTruncate
+	// CorruptGarble overwrites a random span with random bytes.
+	CorruptGarble = wan.CorruptGarble
+	// CorruptMix picks one of the above per corrupted delivery.
+	CorruptMix = wan.CorruptMix
+)
 
 // FaultWindow is one scheduled outage in simulated link time.
 type FaultWindow = wan.FaultWindow

@@ -17,10 +17,14 @@
 //   - BENCH_obs.json — the ObsOverhead artifact: instrumented-but-disabled
 //     vs baseline campaign wall (overhead_frac, acceptance < 0.02) plus
 //     span and metric-series coverage from one enabled run.
+//   - BENCH_integrity.json — the Integrity artifact: corrupted-link digest
+//     identity, injected-vs-detected corruption reconciliation (silent
+//     escapes must be zero), retransmit ledger, and bound-guarantee
+//     quarantine coverage.
 //
 // Usage:
 //
-//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json] [-resume-out BENCH_resume.json] [-obs-out BENCH_obs.json]
+//	go run ./tools/benchjson [-shrink N] [-seed S] [-out BENCH_codecs.json] [-hotpath-out BENCH_hotpath.json] [-serve-out BENCH_serve.json] [-resume-out BENCH_resume.json] [-obs-out BENCH_obs.json] [-integrity-out BENCH_integrity.json]
 //
 // Passing an empty string for either output path skips that artifact. The
 // Makefile's bench-json target is the canonical invocation.
@@ -103,6 +107,7 @@ func run(args []string) error {
 	serveOut := fs.String("serve-out", "BENCH_serve.json", "multi-tenant serve fairness output path (empty = skip)")
 	resumeOut := fs.String("resume-out", "BENCH_resume.json", "fault-tolerance crash-resume output path (empty = skip)")
 	obsOut := fs.String("obs-out", "BENCH_obs.json", "observability overhead output path (empty = skip)")
+	integrityOut := fs.String("integrity-out", "BENCH_integrity.json", "end-to-end integrity output path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +156,16 @@ func run(args []string) error {
 		fmt.Printf("wrote %s: %d metrics (overhead %+.2f%%, %d spans, %d series enabled)\n",
 			*obsOut, len(res.Values), res.Values["overhead_frac"]*100,
 			int(res.Values["enabled_spans"]), int(res.Values["metrics_series"]))
+	}
+	if *integrityOut != "" {
+		res, err := writeArtifact(experiments.Integrity, *integrityOut, *shrink, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d metrics (%d corrupt groups recovered, %d retransmits, %.0f silent escapes, %d fields quarantined)\n",
+			*integrityOut, len(res.Values), int(res.Values["corrupt_groups"]),
+			int(res.Values["retransmits"]), res.Values["silent_escapes"],
+			int(res.Values["degraded_fields"]))
 	}
 	return nil
 }

@@ -48,12 +48,13 @@ var Analyzers = []*analysis.Analyzer{
 // orchestration and transport layers.
 var Targets = map[string]map[string]bool{
 	"alloccap": {
-		"ocelot/internal/sz":       true,
-		"ocelot/internal/szx":      true,
-		"ocelot/internal/huffman":  true,
-		"ocelot/internal/lossless": true,
-		"ocelot/internal/codec":    true,
-		"ocelot/internal/journal":  true,
+		"ocelot/internal/sz":        true,
+		"ocelot/internal/szx":       true,
+		"ocelot/internal/huffman":   true,
+		"ocelot/internal/lossless":  true,
+		"ocelot/internal/codec":     true,
+		"ocelot/internal/journal":   true,
+		"ocelot/internal/integrity": true,
 	},
 	"ctxflow": {
 		"ocelot/internal/pipeline": true,
